@@ -1,0 +1,16 @@
+"""Shared configuration for the experiment benches.
+
+Each bench regenerates one table or figure of the paper: it runs the
+experiment once inside ``benchmark.pedantic`` (wall time recorded by
+pytest-benchmark), prints the paper-style table/series, writes it to
+``benchmarks/results/``, and asserts the qualitative claims ("who wins,
+by roughly what factor, where crossovers fall").
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_shared_caches():
+    """Matrix/factorization caches in repro.bench persist per session."""
+    yield

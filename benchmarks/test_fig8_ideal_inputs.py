@@ -1,0 +1,89 @@
+"""Figure 8 — each solver on its ideal inputs, self-relative speedup.
+
+Basker on the six lowest-fill circuit/grid matrices versus PMKL on the
+six 2/3-D mesh problems of Table II; speedup of each solver *relative
+to itself at one core*.
+
+Paper claims: on SandyBridge the two trend lines are similar (Basker
+achieves "state-of-the-art" scaling on its ideal inputs); on Xeon Phi
+Basker's trend drops below PMKL's from 16 cores (L2-overflowing
+submatrices and reductions without a shared L3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_series, basker_numeric, emit
+from repro.matrices import TABLE1, TABLE2
+from repro.parallel import SANDY_BRIDGE, XEON_PHI
+from repro.solvers import SupernodalLU
+
+# Six lowest KLU fill-density entries of Table I (paper's choice).
+BASKER_IDEAL = [s.name for s in TABLE1[:6]]
+CORES = [1, 2, 4, 8, 16, 32]
+
+
+def _trend(points):
+    """Least-squares slope of speedup vs cores (through the origin-ish)."""
+    xs = np.array([p for p, _ in points], dtype=float)
+    ys = np.array([s for _, s in points], dtype=float)
+    return float((xs * ys).sum() / (xs * xs).sum())
+
+
+def _run():
+    pmkl_nums = {}
+    for spec in TABLE2:
+        pmkl_nums[spec.name] = SupernodalLU().factor(spec.generate())
+
+    out = {}
+    lines = []
+    for machine, tag in ((SANDY_BRIDGE, "SB"), (XEON_PHI, "Phi")):
+        cores = [c for c in CORES if c <= machine.max_cores]
+        basker_pts, pmkl_pts = [], []
+        for name in BASKER_IDEAL:
+            t1 = basker_numeric(name, 1).schedule(machine, n_threads=1).makespan
+            for p in cores[1:]:
+                tp = basker_numeric(name, p).schedule(machine, n_threads=p).makespan
+                basker_pts.append((p, t1 / tp))
+        for name, num in pmkl_nums.items():
+            t1 = num.factor_seconds(machine, 1)
+            for p in cores[1:]:
+                pmkl_pts.append((p, t1 / num.factor_seconds(machine, p)))
+        out[tag] = dict(
+            basker=basker_pts,
+            pmkl=pmkl_pts,
+            slope_basker=_trend(basker_pts),
+            slope_pmkl=_trend(pmkl_pts),
+        )
+        for label, pts in (("Basker(low-fill)", basker_pts), ("PMKL(mesh)", pmkl_pts)):
+            xs = [p for p, _ in pts]
+            ys = [s for _, s in pts]
+            lines.append(ascii_series(f"{tag:3s} {label}", xs, ys))
+        lines.append(
+            f"{tag:3s} trend slopes: Basker {out[tag]['slope_basker']:.3f}, "
+            f"PMKL {out[tag]['slope_pmkl']:.3f}"
+        )
+    emit("fig8_ideal_inputs", "Figure 8 analog: self-relative speedup on ideal inputs\n" + "\n".join(lines))
+    return out
+
+
+def test_fig8_ideal_inputs(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    # (a) SandyBridge: similar scaling trends (paper: "Basker is able
+    # to achieve a similar speedup curve as PMKL on 2/3D meshes").
+    sb = out["SB"]
+    ratio = sb["slope_basker"] / sb["slope_pmkl"]
+    assert 0.5 < ratio < 2.5, f"SB trend ratio {ratio:.2f}"
+
+    # (b) Phi: Basker's trend falls below PMKL's (cache effects), and
+    # by a wider margin than on SandyBridge.
+    phi = out["Phi"]
+    ratio_phi = phi["slope_basker"] / phi["slope_pmkl"]
+    assert ratio_phi < ratio, "expected Basker's relative trend to drop on Phi"
+
+    # At 32 Phi cores specifically, Basker's mean self-speedup is below
+    # PMKL's (paper: divergence starting at 16-32 cores).
+    b32 = np.mean([s for p, s in phi["basker"] if p == 32])
+    p32 = np.mean([s for p, s in phi["pmkl"] if p == 32])
+    assert b32 < p32

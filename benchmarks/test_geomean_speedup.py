@@ -1,0 +1,72 @@
+"""Section V-D headline numbers — geometric-mean speedups vs KLU.
+
+Paper: on 16 SandyBridge cores Basker's geometric-mean speedup over the
+suite is 5.91x vs PMKL's 1.5x, with Basker faster on 17/22 matrices;
+on 32 Xeon Phi cores Basker reaches 7.4x vs PMKL's 5.78x, faster on
+16/22.
+"""
+
+import pytest
+
+from repro.bench import (
+    basker_seconds,
+    emit,
+    format_table,
+    geometric_mean,
+    klu_seconds,
+    pmkl_seconds,
+)
+from repro.matrices import suite_names
+from repro.parallel import SANDY_BRIDGE, XEON_PHI
+
+
+def _run():
+    names = suite_names(1)
+    results = {}
+    rows = []
+    for machine, p, tag in ((SANDY_BRIDGE, 16, "SB-16"), (XEON_PHI, 32, "Phi-32")):
+        sp_b, sp_p, wins = [], [], 0
+        for n in names:
+            t_klu = klu_seconds(n, machine)
+            tb = basker_seconds(n, p, machine)
+            tp = pmkl_seconds(n, p, machine)
+            sp_b.append(t_klu / tb)
+            sp_p.append(t_klu / tp)
+            if tb < tp:
+                wins += 1
+        gm_b, gm_p = geometric_mean(sp_b), geometric_mean(sp_p)
+        results[tag] = dict(gm_basker=gm_b, gm_pmkl=gm_p, wins=wins, total=len(names))
+        rows.append([tag, f"{gm_b:.2f}", f"{gm_p:.2f}", f"{wins}/{len(names)}"])
+    table = format_table(
+        ["setting", "Basker geomean", "PMKL geomean", "Basker wins"],
+        rows,
+        title=(
+            "Geometric-mean speedup vs serial KLU over the 22-matrix suite\n"
+            "paper: SB-16 Basker 5.91x / PMKL 1.5x (17/22); "
+            "Phi-32 Basker 7.4x / PMKL 5.78x (16/22)"
+        ),
+    )
+    emit("geomean_speedup", table)
+    return results
+
+
+def test_geomean_speedup(benchmark):
+    r = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    sb = r["SB-16"]
+    # Basker's geometric mean lands in the paper's band (5.91x).
+    assert 3.0 < sb["gm_basker"] < 14.0, sb
+    # PMKL's stays far lower on SandyBridge (1.5x).
+    assert sb["gm_pmkl"] < 0.75 * sb["gm_basker"]
+    # Basker faster on a clear majority (paper 17/22).
+    assert sb["wins"] >= 14
+
+    phi = r["Phi-32"]
+    # On Phi both means rise and the gap narrows (7.4x vs 5.78x).
+    assert phi["gm_basker"] > 3.0
+    assert phi["gm_pmkl"] > sb["gm_pmkl"]
+    assert phi["wins"] >= 12  # paper: 16/22
+    # The Basker-over-PMKL margin shrinks on Phi.
+    margin_sb = sb["gm_basker"] / sb["gm_pmkl"]
+    margin_phi = phi["gm_basker"] / phi["gm_pmkl"]
+    assert margin_phi < margin_sb

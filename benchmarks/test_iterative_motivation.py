@@ -1,0 +1,90 @@
+"""Motivation check — direct vs preconditioned iterative (paper ref. [21]).
+
+Section V-F cites Thornquist et al. (ICCAD'09): the Xyce1 circuit class
+"illustrate[s] the ineffectiveness of preconditioned iterative methods
+and direct solvers other than KLU".  This bench reproduces that
+premise with the in-package iterative substrate:
+
+* ILU(0) on the raw circuit Jacobian fails structurally (voltage-source
+  branch rows have zero diagonals — no pivoting, no fill);
+* even after an MWCM repair, GMRES costs orders of magnitude more
+  arithmetic per system than one KLU refactorization — and a transient
+  pays that price for every matrix of the sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import emit, format_table
+from repro.errors import SingularMatrixError
+from repro.graph.matching import mwcm_row_permutation
+from repro.iterative import ILU0Preconditioner, gmres
+from repro.parallel import SANDY_BRIDGE
+from repro.solvers import KLU
+from repro.xyce import matrix_sequence, xyce1_analog
+
+
+def _run():
+    ckt = xyce1_analog()
+    seq = matrix_sequence(ckt, n_matrices=3)
+    A = seq[-1]
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.n_rows)
+
+    klu = KLU()
+    num = klu.factor(A)
+    t_direct = num.factor_seconds(SANDY_BRIDGE)
+    direct_flops = num.ledger.sparse_flops
+
+    raw_ilu_fails = False
+    try:
+        ILU0Preconditioner(A)
+    except SingularMatrixError:
+        raw_ilu_fails = True
+
+    # MWCM repair, then ILU(0)+GMRES.
+    pm = mwcm_row_permutation(A)
+    Ap = A.permute(row_perm=pm)
+    bp = b[pm]
+    M = ILU0Preconditioner(Ap)
+    res = gmres(Ap, bp, M=M.apply, tol=1e-10, restart=40, maxiter=600)
+    iter_flops = res.ledger.sparse_flops + M.ledger.sparse_flops
+    t_iter = SANDY_BRIDGE.seconds(res.ledger) + SANDY_BRIDGE.seconds(M.ledger)
+
+    plain = gmres(A, b, tol=1e-10, restart=40, maxiter=600)
+
+    rows = [
+        ["KLU refactor (direct)", "ok", "-", f"{direct_flops:.3g}", f"{t_direct:.3e}"],
+        ["ILU(0) raw Jacobian", "FAIL (zero diag)" if raw_ilu_fails else "ok", "-", "-", "-"],
+        ["MWCM + ILU(0) + GMRES", "ok" if res.converged else "stall",
+         res.iterations, f"{iter_flops:.3g}", f"{t_iter:.3e}"],
+        ["plain GMRES", "ok" if plain.converged else "stall", plain.iterations,
+         f"{plain.ledger.sparse_flops:.3g}", f"{SANDY_BRIDGE.seconds(plain.ledger):.3e}"],
+    ]
+    table = format_table(
+        ["method", "status", "iters", "flops / system", "modelled s / system"],
+        rows,
+        title=("Direct vs preconditioned iterative on a Xyce1-analog Jacobian\n"
+               "paper ref. [21]: iterative methods ineffective for this class"),
+    )
+    emit("iterative_motivation", table)
+    return dict(
+        raw_ilu_fails=raw_ilu_fails,
+        direct_flops=direct_flops,
+        iter_flops=iter_flops,
+        iter_converged=res.converged,
+        iters=res.iterations,
+    )
+
+
+def test_iterative_motivation(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # ILU(0) cannot even be built on the raw Jacobian.
+    assert out["raw_ilu_fails"]
+    # Per system, the (repaired) iterative method costs at least an
+    # order of magnitude more arithmetic than a direct refactorization,
+    # or fails to converge at all.
+    if out["iter_converged"]:
+        assert out["iter_flops"] > 10 * out["direct_flops"]
+    else:
+        assert True  # stalling is the paper's stronger version of the claim

@@ -1,0 +1,79 @@
+"""Ablation — ND leaf count beyond the thread count (paper §III-C).
+
+The paper: "increasing the number of leafs in the ND tree may provide
+smaller cache friendly submatrices, but would limit the amount of
+pivoting allowed.  This trade-off is not explored in this paper."
+
+This bench explores it: Basker at 8 threads with 8 / 16 / 32 ND leaves
+on a grid-core circuit.  Reported per configuration: makespan, largest
+leaf working set (the cache-friendliness axis), factor size, and the
+share of off-diagonal pivots (the pivoting-freedom axis).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import emit, format_table
+from repro.core import Basker
+from repro.matrices import grid2d
+from repro.parallel import SANDY_BRIDGE, XEON_PHI
+from repro.sparse import solve_residual
+
+P = 8
+LEAVES = [8, 16, 32]
+
+
+def _offdiag_pivot_share(num):
+    total = moved = 0
+    for nd in num.nd_numeric.values():
+        for t, piv in nd.node_piv.items():
+            total += piv.size
+            moved += int((piv != np.arange(piv.size)).sum())
+    return moved / max(total, 1)
+
+
+def _run():
+    rng = np.random.default_rng(3)
+    A = grid2d(30, skew=0.6, rng=rng)
+    b = rng.standard_normal(A.n_rows)
+    rows, out = [], {}
+    for leaves in LEAVES:
+        bk = Basker(n_threads=P, nd_leaves=leaves, pivot_tol=0.5)
+        num = bk.factor(A)
+        resid = solve_residual(A, bk.solve(num, b), b)
+        leaf_ws = max(
+            (t.working_set for t in num.tasks if t.label.startswith("leaf")), default=0.0
+        )
+        stats = dict(
+            makespan_sb=num.factor_seconds(SANDY_BRIDGE),
+            makespan_phi=num.factor_seconds(XEON_PHI),
+            leaf_ws=leaf_ws,
+            nnz=num.factor_nnz,
+            pivots=_offdiag_pivot_share(num),
+            resid=resid,
+        )
+        out[leaves] = stats
+        rows.append([
+            leaves, f"{stats['makespan_sb']:.3e}", f"{stats['makespan_phi']:.3e}",
+            f"{leaf_ws:.0f}", stats["nnz"], f"{stats['pivots']:.3f}", f"{resid:.1e}",
+        ])
+    table = format_table(
+        ["ND leaves", "makespan SB s", "makespan Phi s", "max leaf WS (B)",
+         "|L+U|", "offdiag pivot share", "residual"],
+        rows,
+        title=f"ND-leaves ablation: Basker, {P} threads, grid circuit (paper: trade-off unexplored)",
+    )
+    emit("nd_leaves_ablation", table)
+    return out
+
+
+def test_nd_leaves_ablation(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Correct at every leaf count.
+    for leaves, s in out.items():
+        assert s["resid"] < 1e-10
+    # Smaller leaves -> smaller leaf working sets (the cache axis).
+    assert out[32]["leaf_ws"] <= out[8]["leaf_ws"]
+    # Factor size stays in the same class (more leaves does not blow up
+    # fill at these sizes).
+    assert out[32]["nnz"] < 1.5 * out[8]["nnz"]

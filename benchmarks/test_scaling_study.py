@@ -1,0 +1,51 @@
+"""Extension — how Basker's speedup scales with problem size.
+
+EXPERIMENTS.md attributes several deviations from the paper to the
+~100x scale reduction: at n ~ 10^3 a 2-D separator is a few percent of
+the matrix, at the paper's n ~ 10^5-10^6 it is negligible, so Amdahl's
+penalty on Basker shrinks as n grows.  This bench makes that argument
+quantitative: Basker-vs-KLU speedup at 16 cores on the same matrix
+family at increasing sizes — the trend toward the paper's numbers
+should be visible within tractable sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_series, emit
+from repro.core import Basker
+from repro.matrices import thick_ladder
+from repro.parallel import SANDY_BRIDGE
+from repro.solvers import KLU
+
+LENGTHS = [60, 120, 240, 480]
+P = 16
+
+
+def _run():
+    speedups = []
+    ns = []
+    for length in LENGTHS:
+        rng = np.random.default_rng(7)
+        A = thick_ladder(length, 6, rng=rng)
+        ns.append(A.n_rows)
+        t_klu = KLU().factor(A).factor_seconds(SANDY_BRIDGE)
+        t_b = Basker(n_threads=P).factor(A).factor_seconds(SANDY_BRIDGE)
+        speedups.append(t_klu / t_b)
+    emit(
+        "scaling_study",
+        "Basker speedup vs KLU (16 cores, SandyBridge) as problem size grows\n"
+        + ascii_series("thick_ladder(width 6)", ns, speedups)
+        + "\n(the paper's matrices are 100-1000x larger still)",
+    )
+    return ns, speedups
+
+
+def test_scaling_study(benchmark):
+    ns, sp = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Speedup grows with n (the separator fraction shrinks)...
+    assert sp[-1] > sp[0]
+    # ...strictly from the smallest to the largest size class.
+    assert sp[-1] > 1.3 * sp[0]
+    # And the largest size reaches a healthy multiple of KLU.
+    assert sp[-1] > 3.0

@@ -1,0 +1,63 @@
+"""Ablation — the paper's §VI future work, implemented.
+
+"Future scheduled improvements include adding supernodes to the
+hierarchy structure to improve performance on high fill-in matrices."
+
+Basker's ``supernodal_separators`` mode factors separator diagonal
+blocks that have filled in densely with a dense partial-pivoting kernel
+(BLAS-priced) instead of Gilbert–Peierls.  This bench measures the
+effect on the high-fill group of Table I and checks it does no harm on
+the low-fill group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import emit, format_table, klu_seconds, matrix
+from repro.core import Basker
+from repro.parallel import SANDY_BRIDGE
+from repro.sparse import solve_residual
+
+HIGH_FILL = ["G2_Circuit", "twotone", "memchip"]
+LOW_FILL = ["Power0*+", "hvdc2+"]
+P = 16
+
+
+def _run():
+    rows, out = [], {}
+    rng = np.random.default_rng(0)
+    for name in HIGH_FILL + LOW_FILL:
+        A = matrix(name)
+        t_klu = klu_seconds(name, SANDY_BRIDGE)
+        b = rng.standard_normal(A.n_rows)
+        times = {}
+        for sup in (False, True):
+            bk = Basker(n_threads=P, supernodal_separators=sup)
+            num = bk.factor(A)
+            resid = solve_residual(A, bk.solve(num, b), b)
+            assert resid < 1e-9, (name, sup, resid)
+            times[sup] = num.factor_seconds(SANDY_BRIDGE)
+        out[name] = times
+        rows.append([
+            name, f"{t_klu / times[False]:.2f}", f"{t_klu / times[True]:.2f}",
+            f"{times[False] / times[True]:.2f}",
+        ])
+    table = format_table(
+        ["matrix", "speedup (GP separators)", "speedup (dense separators)", "gain"],
+        rows,
+        title=f"Supernodal-separator ablation, {P} threads, SandyBridge (paper §VI future work)",
+    )
+    emit("supernodal_separators_ablation", table)
+    return out
+
+
+def test_supernodal_separators_ablation(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # Clear improvement on the high-fill group...
+    gains = [out[n][False] / out[n][True] for n in HIGH_FILL]
+    assert max(gains) > 1.1
+    assert sum(g > 1.0 for g in gains) >= 2
+    # ...and no meaningful regression on low-fill matrices (their
+    # separators stay sparse, so the dense kernel never triggers).
+    for n in LOW_FILL:
+        assert out[n][True] <= out[n][False] * 1.05

@@ -1,0 +1,52 @@
+"""Runs last (alphabetically): collate every experiment's output into
+``benchmarks/results/SUMMARY.txt`` — the one-file artifact of the whole
+reproduction run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import RESULTS_DIR
+
+EXPECTED = [
+    "table1_memory",
+    "table2_mesh_suite",
+    "fig5_raw_time",
+    "fig6_speedup",
+    "fig7_perf_profiles",
+    "fig8_ideal_inputs",
+    "geomean_speedup",
+    "xyce_sequence",
+    "sync_ablation",
+    "nd_leaves_ablation",
+    "supernodal_separators_ablation",
+    "pipeline_ablation",
+    "iterative_motivation",
+    "model_sensitivity",
+    "scaling_study",
+    "ordering_quality",
+]
+
+
+def _run():
+    parts = []
+    missing = []
+    for name in EXPECTED:
+        p = RESULTS_DIR / f"{name}.txt"
+        if p.exists():
+            parts.append(f"{'=' * 72}\n== {name}\n{'=' * 72}\n{p.read_text()}")
+        else:
+            missing.append(name)
+    summary = "\n".join(parts)
+    (RESULTS_DIR / "SUMMARY.txt").write_text(summary)
+    print(f"\nSUMMARY.txt: {len(parts)} experiments collated, "
+          f"{len(missing)} missing {missing if missing else ''}")
+    return len(parts), missing
+
+
+def test_zz_summary(benchmark):
+    n, missing = benchmark.pedantic(_run, rounds=1, iterations=1)
+    # When the full bench suite ran before this file (alphabetical
+    # order), every experiment must have produced its artifact.
+    assert n >= 10, f"only {n} result files present; missing: {missing}"

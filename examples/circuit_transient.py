@@ -1,0 +1,57 @@
+"""Transient circuit simulation with Basker as the linear solver.
+
+Reproduces the paper's §V-F workload in miniature: a SPICE-style
+backward-Euler transient of a nonlinear circuit generates a sequence of
+same-pattern Jacobians; the direct solver's refactorization path
+dominates simulation time.
+
+Run:  python examples/circuit_transient.py
+"""
+
+import numpy as np
+
+from repro import Basker, KLU, SANDY_BRIDGE
+from repro.xyce import matrix_sequence, run_transient, xyce1_analog
+
+# ----------------------------------------------------------------------
+# 1. Build the circuit and run a short transient to see the physics.
+# ----------------------------------------------------------------------
+ckt = xyce1_analog(n_core=60, n_subckts=15)
+print(f"circuit: {ckt.n_unknowns} unknowns, {len(ckt.devices)} devices")
+
+result = run_transient(ckt, t_end=1e-3, dt=2e-5)
+print(f"transient: {len(result.times) - 1} steps, converged={result.converged}, "
+      f"avg Newton iters {np.mean(result.newton_iters):.1f}")
+
+# ASCII waveform of one core node voltage.
+v = result.states[:, 4]
+lo, hi = float(v.min()), float(v.max())
+span = max(hi - lo, 1e-12)
+print(f"\nnode-5 voltage over time  [{lo:.3f} V .. {hi:.3f} V]")
+for k in range(0, len(v), max(1, len(v) // 24)):
+    bar = int(50 * (v[k] - lo) / span)
+    print(f"  t={result.times[k] * 1e3:6.3f} ms |{'#' * bar}")
+
+# ----------------------------------------------------------------------
+# 2. The matrix-sequence experiment: refactor every Jacobian with
+#    Basker vs KLU, reusing one symbolic analysis (paper §V-F).
+#    A larger circuit here: parallel speedup needs work to chew on.
+# ----------------------------------------------------------------------
+N = 60
+seq = matrix_sequence(xyce1_analog(), n_matrices=N)
+print(f"\nsequence: {N} Jacobians, n={seq[0].n_rows}, nnz={seq[0].nnz}")
+
+klu = KLU()
+knum = klu.factor(seq[0])
+t_klu = sum(klu.refactor(A, knum).factor_seconds(SANDY_BRIDGE) for A in seq)
+
+basker = Basker(n_threads=8)
+bnum = basker.factor(seq[0])
+t_basker = 0.0
+for A in seq:
+    bnum = basker.refactor(A, bnum)
+    t_basker += bnum.factor_seconds(SANDY_BRIDGE)
+
+print(f"KLU    (serial): {t_klu:.4f} modelled s")
+print(f"Basker (8 thr):  {t_basker:.4f} modelled s")
+print(f"sequence speedup: {t_klu / t_basker:.2f}x  (paper reports ~5.2x over 1000 matrices)")

@@ -1,0 +1,75 @@
+"""Simulate a SPICE netlist end to end with Basker as the solver.
+
+A five-transistor-stage ring-style NMOS amplifier chain written as a
+plain SPICE deck: parse it, find the DC operating point, run the
+transient (adaptive steps), then replay the Jacobian sequence through
+Basker's refactorization path — the complete circuit-simulation flow
+the paper targets.
+
+Run:  python examples/netlist_simulation.py
+"""
+
+import numpy as np
+
+from repro import Basker, KLU, SANDY_BRIDGE
+from repro.xyce import dc_operating_point, parse_netlist, run_transient_adaptive
+
+DECK = """
+* two-stage NMOS common-source amplifier with biased RC coupling
+V1  vdd 0   DC 5
+Vin in  0   SIN(1.2 0.2 2000)
+
+R1  vdd n1  10k
+M1  n1  in  0  k=1m vt=0.7
+C1  n1  g2  100n
+Rb1 vdd g2  390k
+Rb2 g2  0   120k
+
+R3  vdd n2  10k
+M2  n2  g2  0  k=1m vt=0.7
+C2  n2  out 100n
+Rl  out 0   100k
+
+.tran 5u 2m
+.end
+"""
+
+deck = parse_netlist(DECK)
+ckt = deck.circuit
+print(f"parsed: {len(ckt.devices)} devices, {ckt.n_unknowns} unknowns, "
+      f"nodes: {sorted(deck.node_names)}")
+
+# ----------------------------------------------------------------------
+# DC operating point.
+# ----------------------------------------------------------------------
+x0 = dc_operating_point(ckt)
+for node in ("n1", "g2", "n2"):
+    print(f"  V({node}) = {x0[deck.node(node) - 1]:.3f} V")
+
+# ----------------------------------------------------------------------
+# Transient with adaptive steps.
+# ----------------------------------------------------------------------
+res = run_transient_adaptive(ckt, t_end=deck.tran[1], dt0=deck.tran[0], x0=x0)
+print(f"\ntransient: {len(res.times) - 1} accepted steps, "
+      f"{len(res.matrices)} Jacobians, converged={res.converged}")
+v_out = res.states[:, deck.node("out") - 1]
+print(f"output swing: {v_out.min():.3f} .. {v_out.max():.3f} V")
+
+# ----------------------------------------------------------------------
+# The solver view: one analysis, many refactorizations.
+# ----------------------------------------------------------------------
+seq = res.matrices[: min(len(res.matrices), 200)]
+klu = KLU()
+knum = klu.factor(seq[0])
+t_klu = sum(klu.refactor(A, knum).factor_seconds(SANDY_BRIDGE) for A in seq)
+
+basker = Basker(n_threads=8)
+bnum = basker.factor(seq[0])
+t_basker = 0.0
+for A in seq:
+    bnum = basker.refactor(A, bnum)
+    t_basker += bnum.factor_seconds(SANDY_BRIDGE)
+
+print(f"\nsolver totals over {len(seq)} Jacobians (modelled):")
+print(f"  KLU    (serial): {t_klu:.4e} s")
+print(f"  Basker (8 thr):  {t_basker:.4e} s  ({t_klu / t_basker:.2f}x)")

@@ -1,0 +1,77 @@
+"""Explore the orderings that build Basker's hierarchical structure.
+
+Walks through the three reordering stages on a circuit matrix — MWCM,
+BTF, nested dissection with per-node AMD — and shows what each buys:
+diagonal quality, factored-region shrinkage, separator sizes, fill.
+
+Run:  python examples/ordering_explorer.py
+"""
+
+import numpy as np
+
+from repro.graph import mwcm
+from repro.matrices import btf_composite, thick_ladder
+from repro.ordering import amd_order, btf, nested_dissection
+from repro.solvers import gp_factor
+from repro.sparse import CSC
+
+rng = np.random.default_rng(11)
+A = btf_composite(
+    small_block_sizes=(1 + rng.poisson(2.0, size=40)).tolist(),
+    big_block=thick_ladder(80, 6, rng=rng),
+    coupling_per_block=1.0,
+    rng=rng,
+)
+print(f"matrix: n={A.n_rows}, nnz={A.nnz}")
+
+# ----------------------------------------------------------------------
+# 1. MWCM: bottleneck matching pushes large entries onto the diagonal.
+# ----------------------------------------------------------------------
+match_col, bottleneck = mwcm(A)
+diag_before = np.abs(A.diagonal())
+print("\n--- MWCM ---")
+print(f"matched columns: {(match_col >= 0).sum()}/{A.n_cols}")
+print(f"bottleneck (smallest matched |a_ij|): {bottleneck:.3f}")
+print(f"smallest original |diagonal|: {diag_before.min():.3f}")
+
+# ----------------------------------------------------------------------
+# 2. BTF: the coarse structure. Only diagonal blocks factor.
+# ----------------------------------------------------------------------
+res = btf(A)
+sizes = res.block_sizes()
+diag_area = int((sizes.astype(np.int64) ** 2).sum())
+print("\n--- BTF ---")
+print(f"blocks: {res.n_blocks} (largest {res.largest_block}); "
+      f"{res.btf_percent(96):.0f}% of rows in small blocks")
+print(f"factored region: {diag_area} of {A.n_rows**2} matrix positions "
+      f"({100 * diag_area / A.n_rows**2:.1f}%)")
+
+# ----------------------------------------------------------------------
+# 3. ND on the big block: the fine 2-D structure for the 2-D algorithm.
+# ----------------------------------------------------------------------
+B = A.permute(res.row_perm, res.col_perm)
+big = int(np.argmax(sizes))
+lo, hi = int(res.block_splits[big]), int(res.block_splits[big + 1])
+D = B.submatrix(lo, hi, lo, hi)
+for p in (2, 4, 8):
+    nd = nested_dissection(D, nleaves=p)
+    leaf_sizes = [nd.nodes[t].size for t in nd.leaves()]
+    sep_sizes = [nd.nodes[t].size for t in range(nd.n_nodes) if not nd.nodes[t].is_leaf]
+    print(f"ND p={p}: leaves {leaf_sizes}, separators {sep_sizes}")
+nd = nested_dissection(D, nleaves=4)
+nd.check_separator_property(D)
+print("separator property verified: no edges between sibling subtrees")
+
+# ----------------------------------------------------------------------
+# 4. Fill under different orderings of the big block.
+# ----------------------------------------------------------------------
+print("\n--- fill-in of the big block under different orderings ---")
+natural = gp_factor(D, pivot_tol=0.001)
+p_amd = amd_order(D)
+amd_lu = gp_factor(D.permute(p_amd, p_amd), pivot_tol=0.001)
+q = nd.perm
+nd_lu = gp_factor(D.permute(q, q), pivot_tol=0.001)
+print(f"natural order: |L+U| = {natural.factor_nnz}")
+print(f"AMD:           |L+U| = {amd_lu.factor_nnz}")
+print(f"ND(4 leaves):  |L+U| = {nd_lu.factor_nnz}  "
+      "(slightly more fill, bought back as parallelism)")

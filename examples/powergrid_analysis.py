@@ -1,0 +1,56 @@
+"""Power-grid matrix analysis: BTF structure and solver comparison.
+
+Power-grid matrices (the ``+`` entries of the paper's Table I) are
+Basker's best case: 100 % BTF coverage means the whole factorization is
+an embarrassingly parallel sweep over small independent blocks, and a
+supernodal solver that cannot exploit BTF wastes an order of magnitude
+of memory and time.
+
+Run:  python examples/powergrid_analysis.py
+"""
+
+import numpy as np
+
+from repro import Basker, KLU, SANDY_BRIDGE, SupernodalLU, solve_residual
+from repro.matrices import meshed_area_grid, reduced_system
+from repro.ordering import btf
+
+rng = np.random.default_rng(7)
+
+for label, A in (
+    ("reduced system (RS class)", reduced_system(100, block_size_mean=10.0, rng=rng)),
+    ("meshed areas (hvdc class)", meshed_area_grid(16, 50, rng=rng)),
+):
+    print(f"\n=== {label}: n={A.n_rows}, nnz={A.nnz} ===")
+
+    # Structure: the block triangular form.
+    res = btf(A)
+    sizes = res.block_sizes()
+    print(
+        f"BTF: {res.n_blocks} blocks, largest {res.largest_block}, "
+        f"{res.btf_percent(96):.0f}% of rows in small blocks"
+    )
+    print(f"block-size histogram: 1: {(sizes == 1).sum()}, "
+          f"2-10: {((sizes > 1) & (sizes <= 10)).sum()}, "
+          f">10: {(sizes > 10).sum()}")
+
+    # Solvers: memory and modelled time.
+    b = rng.standard_normal(A.n_rows)
+    klu_num = KLU().factor(A)
+    t_klu = klu_num.factor_seconds(SANDY_BRIDGE)
+
+    pmkl = SupernodalLU()
+    pmkl_num = pmkl.factor(A)
+    t_pmkl = pmkl_num.factor_seconds(SANDY_BRIDGE, n_threads=16)
+
+    basker = Basker(n_threads=16)
+    bask_num = basker.factor(A)
+    t_bask = bask_num.factor_seconds(SANDY_BRIDGE)
+    resid = solve_residual(A, basker.solve(bask_num, b), b)
+
+    print(f"{'solver':8s} {'|L+U|':>10s} {'time(16c) s':>12s} {'vs KLU':>8s}")
+    print(f"{'KLU':8s} {klu_num.factor_nnz:>10d} {t_klu:>12.3e} {1.0:>8.2f}")
+    print(f"{'PMKL':8s} {pmkl_num.factor_nnz:>10d} {t_pmkl:>12.3e} {t_klu / t_pmkl:>8.2f}")
+    print(f"{'Basker':8s} {bask_num.factor_nnz:>10d} {t_bask:>12.3e} {t_klu / t_bask:>8.2f}")
+    print(f"Basker solve residual: {resid:.2e}")
+    print(f"memory ratio PMKL/Basker: {pmkl_num.factor_nnz / bask_num.factor_nnz:.1f}x")

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Basker: A Threaded Sparse LU Factorization
+Utilizing Hierarchical Parallelism and Data Layouts* (Booth,
+Rajamanickam, Thornquist; IPDPS 2016).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Basker, SANDY_BRIDGE
+
+    A = ...                       # repro.sparse.CSC matrix
+    solver = Basker(n_threads=8)
+    numeric = solver.factor(A)
+    x = solver.solve(numeric, b)
+    t_par = numeric.factor_seconds(SANDY_BRIDGE)   # simulated makespan
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .core import Basker, BaskerNumeric
+from .interface import DirectSolver, available_solvers
+from .errors import SingularMatrixError, StructureError
+from .parallel import CostLedger, MachineModel, SANDY_BRIDGE, XEON_PHI, Schedule
+from .solvers import KLU, SolverFailure, SupernodalLU, gp_factor, slu_mt
+from .sparse import CSC, BlockMatrix, factorization_residual, solve_residual
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Basker",
+    "BaskerNumeric",
+    "DirectSolver",
+    "available_solvers",
+    "KLU",
+    "SupernodalLU",
+    "slu_mt",
+    "gp_factor",
+    "CSC",
+    "BlockMatrix",
+    "CostLedger",
+    "MachineModel",
+    "SANDY_BRIDGE",
+    "XEON_PHI",
+    "Schedule",
+    "SingularMatrixError",
+    "StructureError",
+    "SolverFailure",
+    "factorization_residual",
+    "solve_residual",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Benchmark harness: cached runners, performance profiles, reporting."""
+
+from .perfprofile import geometric_mean, performance_profile
+from .report import ascii_series, emit, format_table
+from .runner import (
+    basker_numeric,
+    basker_seconds,
+    clear_caches,
+    klu_numeric,
+    klu_seconds,
+    matrix,
+    pmkl_numeric,
+    pmkl_seconds,
+    slumt_numeric,
+    slumt_seconds,
+)
+
+__all__ = [
+    "performance_profile",
+    "geometric_mean",
+    "format_table",
+    "ascii_series",
+    "emit",
+    "matrix",
+    "basker_numeric",
+    "klu_numeric",
+    "pmkl_numeric",
+    "slumt_numeric",
+    "basker_seconds",
+    "klu_seconds",
+    "pmkl_seconds",
+    "slumt_seconds",
+    "clear_caches",
+]

@@ -1,0 +1,60 @@
+"""Performance profiles (Dolan–Moré), as used in the paper's Figure 7.
+
+A point (x, y) on a solver's profile means: on fraction ``y`` of the
+test problems, this solver's time was within ``x`` times the best
+solver's time for that problem.  Failed runs count as infinitely slow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["performance_profile", "geometric_mean"]
+
+
+def performance_profile(
+    times: Dict[str, Dict[str, float]],
+    taus: Sequence[float] | None = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Compute profile curves.
+
+    ``times[solver][problem]`` is the runtime (``math.inf`` for a
+    failure).  Every solver must report every problem.  Returns, per
+    solver, a list of (tau, fraction) points over ``taus`` (default: a
+    log-spaced grid from 1 to 32).
+    """
+    solvers = sorted(times)
+    if not solvers:
+        return {}
+    problems = sorted(times[solvers[0]])
+    for s in solvers:
+        if sorted(times[s]) != problems:
+            raise ValueError(f"solver {s!r} reports a different problem set")
+    if taus is None:
+        taus = [2 ** (k / 4.0) for k in range(0, 21)]  # 1 .. 32
+
+    best = {
+        p: min(times[s][p] for s in solvers)
+        for p in problems
+    }
+    for p, b in best.items():
+        if not (b > 0) or math.isinf(b):
+            raise ValueError(f"problem {p!r} has no finite positive best time")
+
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for s in solvers:
+        ratios = [times[s][p] / best[p] for p in problems]
+        curve = []
+        for tau in taus:
+            frac = sum(1 for r in ratios if r <= tau + 1e-12) / len(problems)
+            curve.append((float(tau), frac))
+        curves[s] = curve
+    return curves
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0 and not math.isinf(v)]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,49 @@
+"""Plain-text reporting for the benches.
+
+Each bench prints its paper-style table/series and also writes it to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive the
+pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+__all__ = ["format_table", "emit", "ascii_series"]
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    cols = len(headers)
+    srows = [[f"{c:.3g}" if isinstance(c, float) else str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        if len(r) != cols:
+            raise ValueError("row width mismatch")
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in srows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(label: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    pts = "  ".join(f"({x:g}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{label}: {pts}"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {experiment} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")

@@ -1,0 +1,266 @@
+"""The Basker solver: hierarchical parallel sparse LU.
+
+Public entry point of the reproduction.  Mirrors the paper's design:
+
+* coarse BTF (MWCM + SCC) — only diagonal blocks factor;
+* small blocks take the embarrassingly parallel fine-BTF path
+  (Algorithm 2 symbolic, parallel-for Gilbert–Peierls numeric);
+* large irreducible blocks take the fine-ND path (Algorithm 3
+  symbolic, Algorithm 4 parallel numeric on the 2-D block hierarchy);
+* the numeric factorization emits a task DAG with Basker's static
+  thread mapping; :meth:`BaskerNumeric.schedule` replays it on a
+  simulated machine to produce the parallel makespan (see DESIGN.md for
+  why simulation substitutes for real threads in this reproduction).
+
+Life cycle matches circuit-simulator usage: ``analyze`` once per
+pattern, ``factor``/``refactor`` per matrix, ``solve`` per right-hand
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..parallel.ledger import CostLedger
+from ..parallel.machine import MachineModel, SANDY_BRIDGE
+from ..parallel.sim import Schedule, SimTask, simulate
+from ..parallel.threads import parallel_map
+from ..solvers.gp import GP_DEFAULT_PIVOT_TOL, GPResult, gp_factor
+from ..solvers.triangular import lu_solve_factors
+from ..sparse.csc import CSC
+from .numeric import NDNumericBlock, TaskBuilder, factor_nd_block
+from .structure import BaskerSymbolic
+from .symbolic import DEFAULT_ND_THRESHOLD, analyze as symbolic_analyze
+
+__all__ = ["Basker", "BaskerNumeric"]
+
+
+@dataclass
+class BaskerNumeric:
+    """Factors + task DAG for one matrix."""
+
+    symbolic: BaskerSymbolic
+    fine_lu: Dict[int, GPResult]            # coarse block id -> GP factors
+    nd_numeric: Dict[int, NDNumericBlock]   # coarse block id -> ND factors
+    row_perm: np.ndarray                    # final rows incl. all pivoting
+    col_perm: np.ndarray
+    M: CSC                                  # A[row_perm][:, col_perm]
+    tasks: List[SimTask]
+    task_labels: Dict[int, str]
+    ledger: CostLedger
+
+    # ------------------------------------------------------------------
+    @property
+    def factor_nnz(self) -> int:
+        """|L + U| over all factored diagonal blocks (Table I metric)."""
+        total = 0
+        for lu in self.fine_lu.values():
+            total += lu.L.nnz + lu.U.nnz - lu.L.n_cols
+        for nd in self.nd_numeric.values():
+            total += nd.factor_nnz
+        return total
+
+    @property
+    def factor_bytes(self) -> int:
+        """Approximate bytes held by the factors and the solve-phase
+        permuted matrix (16 B per stored entry + column pointers)."""
+        total = 0
+        for lu in self.fine_lu.values():
+            total += 16 * (lu.L.nnz + lu.U.nnz) + 16 * (lu.L.n_cols + 1)
+        for nd in self.nd_numeric.values():
+            total += 16 * (nd.L.nnz + nd.U.nnz) + 16 * (nd.L.n_cols + 1)
+        total += 16 * self.M.nnz + 8 * (self.M.n_cols + 1)
+        return total
+
+    def schedule(
+        self,
+        machine: MachineModel = SANDY_BRIDGE,
+        n_threads: Optional[int] = None,
+        sync_mode: str = "p2p",
+    ) -> Schedule:
+        """Replay the numeric task DAG on a simulated machine.
+
+        ``n_threads`` may exceed the plan's thread count (extra cores
+        idle) but not undercut it — Basker's thread mapping is static,
+        so running with fewer cores requires re-analyzing with that
+        thread count (exactly what the paper's scaling studies do).
+        """
+        p = n_threads if n_threads is not None else self.symbolic.n_threads
+        if p < self.symbolic.n_threads:
+            raise ValueError(
+                f"plan was built for {self.symbolic.n_threads} threads; "
+                f"re-run analyze/factor with n_threads={p} instead"
+            )
+        return simulate(self.tasks, machine, p, sync_mode=sync_mode)
+
+    def factor_seconds(
+        self,
+        machine: MachineModel = SANDY_BRIDGE,
+        n_threads: Optional[int] = None,
+        sync_mode: str = "p2p",
+    ) -> float:
+        return self.schedule(machine, n_threads, sync_mode).makespan
+
+    def block_factors(self, b: int) -> Tuple[CSC, CSC]:
+        """(L, U) of coarse block ``b``."""
+        if b in self.fine_lu:
+            lu = self.fine_lu[b]
+            return lu.L, lu.U
+        nd = self.nd_numeric[b]
+        return nd.L, nd.U
+
+
+class Basker:
+    """Threaded sparse LU via hierarchical parallelism and 2-D layouts."""
+
+    name = "Basker"
+
+    def __init__(
+        self,
+        n_threads: int = 4,
+        pivot_tol: float = GP_DEFAULT_PIVOT_TOL,
+        use_btf: bool = True,
+        nd_threshold: int = DEFAULT_ND_THRESHOLD,
+        static_perturb: float = 0.0,
+        nd_leaves: int | None = None,
+        supernodal_separators: bool = False,
+        pipeline_columns: int | None = None,
+        real_threads: bool = False,
+    ):
+        if n_threads < 1 or (n_threads & (n_threads - 1)) != 0:
+            raise ValueError("n_threads must be a power of two (paper §III-C)")
+        self.n_threads = n_threads
+        self.pivot_tol = float(pivot_tol)
+        self.use_btf = use_btf
+        self.nd_threshold = int(nd_threshold)
+        self.static_perturb = float(static_perturb)
+        self.nd_leaves = nd_leaves
+        self.supernodal_separators = bool(supernodal_separators)
+        self.pipeline_columns = pipeline_columns
+        # Run the embarrassingly parallel fine-BTF phase on a real
+        # ThreadPoolExecutor.  Results are identical; wall-clock speedup
+        # is NOT expected under CPython's GIL (see DESIGN.md) — the
+        # option exists to exercise the real code path.
+        self.real_threads = bool(real_threads)
+
+    # ------------------------------------------------------------------
+    def analyze(self, A: CSC) -> BaskerSymbolic:
+        """Symbolic analysis (Algorithms 2 and 3); pattern + values (MWCM)."""
+        return symbolic_analyze(
+            A,
+            self.n_threads,
+            nd_threshold=self.nd_threshold,
+            use_btf=self.use_btf,
+            nd_leaves=self.nd_leaves,
+        )
+
+    # ------------------------------------------------------------------
+    def factor(self, A: CSC, symbolic: Optional[BaskerSymbolic] = None) -> BaskerNumeric:
+        """Parallel numeric factorization (Algorithm 4 + fine BTF)."""
+        if symbolic is None:
+            symbolic = self.analyze(A)
+        B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)
+        splits = symbolic.block_splits
+        builder = TaskBuilder()
+        total = CostLedger()
+        total.mem_words += A.nnz  # block scatter
+
+        row_perm = symbolic.row_perm_pre.copy()
+        fine_lu: Dict[int, GPResult] = {}
+        nd_numeric: Dict[int, NDNumericBlock] = {}
+
+        # Fine-BTF blocks: embarrassingly parallel Gilbert–Peierls.
+        if symbolic.fine_plan is not None:
+            plan = symbolic.fine_plan
+
+            def _factor_fine(b_idx: int):
+                lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
+                blk = B.submatrix(lo, hi, lo, hi)
+                led = CostLedger()
+                lu = gp_factor(
+                    blk, pivot_tol=self.pivot_tol, static_perturb=self.static_perturb, ledger=led
+                )
+                return b_idx, lo, hi, lu, led
+
+            results = parallel_map(
+                _factor_fine,
+                list(plan.block_ids),
+                n_threads=self.n_threads if self.real_threads else 1,
+            )
+            for (b_idx, lo, hi, lu, led), thread in zip(results, plan.thread_of):
+                fine_lu[b_idx] = lu
+                row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+                total.add(led)
+                builder.add(
+                    ("fine", b_idx), led, deps=[], thread=thread,
+                    working_set=12.0 * (lu.L.nnz + lu.U.nnz) + 8.0 * (hi - lo),
+                )
+
+        # Fine-ND blocks: Algorithm 4.
+        for plan in symbolic.nd_plans:
+            lo, hi = plan.offset, plan.offset + plan.size
+            Dblk = B.submatrix(lo, hi, lo, hi)
+            nd = factor_nd_block(
+                Dblk,
+                plan,
+                builder,
+                pivot_tol=self.pivot_tol,
+                static_perturb=self.static_perturb,
+                supernodal_separators=self.supernodal_separators,
+                pipeline_columns=self.pipeline_columns,
+            )
+            nd_numeric[plan.block_id] = nd
+            row_perm[lo:hi] = row_perm[lo:hi][nd.piv]
+            total.add(nd.ledger)
+
+        M = A.permute(row_perm, symbolic.col_perm)
+        return BaskerNumeric(
+            symbolic=symbolic,
+            fine_lu=fine_lu,
+            nd_numeric=nd_numeric,
+            row_perm=row_perm,
+            col_perm=symbolic.col_perm,
+            M=M,
+            tasks=builder.tasks,
+            task_labels=builder.labels(),
+            ledger=total,
+        )
+
+    # ------------------------------------------------------------------
+    def refactor(self, A: CSC, numeric: BaskerNumeric) -> BaskerNumeric:
+        """Factor a same-pattern matrix reusing the symbolic analysis.
+
+        The Xyce transient path (paper §V-F): orderings, block
+        structure and thread mapping are reused; pivoting is redone for
+        the new values.
+        """
+        return self.factor(A, symbolic=numeric.symbolic)
+
+    # ------------------------------------------------------------------
+    def solve(self, numeric: BaskerNumeric, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` via coarse-BTF block back-substitution."""
+        b = np.asarray(b, dtype=np.float64)
+        n = numeric.symbolic.n
+        if b.shape != (n,):
+            raise ValueError("right-hand side has wrong length")
+        splits = numeric.symbolic.block_splits
+        c = b[numeric.row_perm].copy()
+        z = np.zeros(n, dtype=np.float64)
+        M = numeric.M
+        for k in range(numeric.symbolic.n_blocks - 1, -1, -1):
+            lo, hi = int(splits[k]), int(splits[k + 1])
+            if hi == lo:
+                continue
+            L, U = numeric.block_factors(k)
+            z[lo:hi] = lu_solve_factors(L, U, c[lo:hi])
+            for j in range(lo, hi):
+                rows, vals = M.col(j)
+                cut = np.searchsorted(rows, lo)
+                if cut:
+                    c[rows[:cut]] -= vals[:cut] * z[j]
+        x = np.empty(n, dtype=np.float64)
+        x[numeric.col_perm] = z
+        return x

@@ -1,0 +1,746 @@
+"""Basker's parallel numeric factorization (Algorithm 4) and kernels.
+
+The fine-ND numeric factorization works on the 2-D block structure of
+Figure 3(a).  Following the dependency tree bottom-up:
+
+* **leaf phase** (treelevel −1): every leaf diagonal block factors with
+  Gilbert–Peierls (partial pivoting local to the block), then the lower
+  off-diagonal blocks of its column sweep ``L_ki = A_ki U_ii^{-1}``;
+* **separator passes** (slevel = 1..log2 p): for each separator column
+  ``j``, the leaf-level upper blocks solve ``U_ij = L_ii^{-1} P_i
+  A_ij``, intermediate separators reduce their column (``Â_mj = A_mj −
+  Σ_s L_ms U_sj``) and solve through their own ``L_mm``, the diagonal
+  block reduces and factors (the only serial bottleneck at the root),
+  and remaining lower blocks ``L_kj = Â_kj U_jj^{-1}`` complete the
+  column.
+
+Pivoting scope follows the paper's fill-path argument (§III-C): a
+diagonal block's row permutation only touches its own block *row* — the
+already-computed ``L_k·`` blocks of other block rows are unaffected.
+Concretely, right after node ``t`` factors we apply ``P_t`` to the
+stored ``L_{t,s}`` blocks and to the not-yet-consumed ``A_{t,k}``
+blocks, so every later operation on block row ``t`` lives in pivoted
+space.
+
+The paper executes this column-by-column with point-to-point syncs;
+numerically, whole-block processing in dependency order computes the
+same factors (within-block columns are sequential on their owning
+thread either way), so this module processes blocks whole while
+recording *per-column* sync counts on the reduction tasks for the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.dfs import ReachWorkspace, topo_reach
+from ..parallel.ledger import CostLedger
+from ..parallel.sim import SimTask
+from ..sparse.blocks import BlockMatrix
+from ..sparse.csc import CSC
+from .structure import NDBlockPlan
+from ..solvers.dense import DENSE_SEPARATOR_THRESHOLD, dense_lu_factor
+from ..solvers.gp import GPResult, gp_factor
+
+__all__ = [
+    "TaskBuilder",
+    "NDNumericBlock",
+    "lower_offdiag_solve",
+    "upper_offdiag_solve",
+    "block_reduce",
+    "factor_nd_block",
+]
+
+
+class TaskBuilder:
+    """Accumulates the simulation task DAG during factorization."""
+
+    def __init__(self) -> None:
+        self.tasks: List[SimTask] = []
+        self._by_key: Dict[tuple, int] = {}
+
+    def add(
+        self,
+        key: tuple,
+        ledger: CostLedger,
+        deps: List[tuple],
+        thread: Optional[int],
+        working_set: float = 0.0,
+        p2p_syncs: int = 0,
+        barriers: int = 0,
+    ) -> int:
+        if key in self._by_key:
+            raise ValueError(f"duplicate task key {key}")
+        tid = len(self.tasks)
+        dep_ids = [self._by_key[d] for d in deps if d in self._by_key]
+        self.tasks.append(
+            SimTask(
+                tid=tid,
+                ledger=ledger,
+                deps=dep_ids,
+                thread=thread,
+                working_set=working_set,
+                p2p_syncs=p2p_syncs,
+                barriers=barriers,
+                label="/".join(str(k) for k in key),
+            )
+        )
+        self._by_key[key] = tid
+        return tid
+
+    def has(self, key: tuple) -> bool:
+        return key in self._by_key
+
+    def add_alias(self, key: tuple, target: tuple) -> None:
+        """Let ``key`` resolve to an already-added task (pipeline mode:
+        a logical block task aliases its final column chunk)."""
+        if key in self._by_key:
+            raise ValueError(f"alias would shadow existing task {key}")
+        self._by_key[key] = self._by_key[target]
+
+    def labels(self) -> Dict[int, str]:
+        return {t.tid: t.label for t in self.tasks}
+
+
+class _PassEmitter:
+    """Task emission for one separator-column pass.
+
+    With ``chunk=None`` every logical block task becomes one SimTask
+    (block-granular scheduling).  With a chunk size, each task is split
+    into per-column-range subtasks whose *internal* dependencies connect
+    chunk-to-chunk — the paper's per-column pipeline: while the diagonal
+    factorization works on columns [c, c+chunk), the reductions for the
+    next chunk proceed on other threads.  Costs are apportioned to
+    chunks by the realized nnz of the task's output columns.
+    """
+
+    def __init__(self, builder: TaskBuilder, n_cols: int, chunk: Optional[int]):
+        self.builder = builder
+        self.n_cols = n_cols
+        self.chunk = chunk
+        self.recs: List[dict] = []
+
+    def add(
+        self,
+        key: tuple,
+        led: CostLedger,
+        thread: int,
+        working_set: float,
+        internal: List[tuple] = (),
+        external: List[tuple] = (),
+        sync_per_col: int = 0,
+        chain: bool = False,
+        out: Optional[CSC] = None,
+    ) -> None:
+        if not self.chunk:
+            self.builder.add(
+                key, led, deps=list(internal) + list(external), thread=thread,
+                working_set=working_set, p2p_syncs=sync_per_col * self.n_cols,
+            )
+            return
+        self.recs.append(
+            dict(key=key, led=led, thread=thread, ws=working_set,
+                 internal=list(internal), external=list(external),
+                 sync_per_col=sync_per_col, chain=chain, out=out)
+        )
+
+    def flush(self) -> None:
+        if not self.chunk or not self.recs:
+            self.recs = []
+            return
+        n, c = self.n_cols, self.chunk
+        K = max(1, -(-n // c))
+        bounds = [(k * c, min((k + 1) * c, n)) for k in range(K)]
+        for rec in self.recs:  # insertion order is pass-topological
+            out = rec["out"]
+            if out is not None and out.n_cols == n and out.nnz > 0:
+                weights = [
+                    float(out.indptr[hi] - out.indptr[lo]) for lo, hi in bounds
+                ]
+            else:
+                weights = [float(hi - lo) for lo, hi in bounds]
+            tot = sum(weights) or float(K)
+            weights = [w / tot for w in weights]
+            for k, (lo, hi) in enumerate(bounds):
+                deps = [d + ("c", k) for d in rec["internal"]] + list(rec["external"])
+                if rec["chain"] and k > 0:
+                    deps.append(rec["key"] + ("c", k - 1))
+                self.builder.add(
+                    rec["key"] + ("c", k),
+                    rec["led"].scaled(weights[k]),
+                    deps=deps,
+                    thread=rec["thread"],
+                    working_set=rec["ws"],
+                    p2p_syncs=rec["sync_per_col"] * (hi - lo),
+                )
+            self.builder.add_alias(rec["key"], rec["key"] + ("c", K - 1))
+        self.recs = []
+
+
+# ----------------------------------------------------------------------
+# Numeric kernels
+# ----------------------------------------------------------------------
+
+
+def lower_offdiag_solve(A_ki: CSC, U_ii: CSC, ledger: CostLedger) -> CSC:
+    """Solve ``X @ U_ii = A_ki`` for the lower off-diagonal block.
+
+    Column sweep: ``X(:,c) = (A(:,c) − Σ_{t<c, U(t,c)≠0} X(:,t) U(t,c))
+    / U(c,c)``.  This is the "nonzero pattern discovered by parallel
+    sparse matrix-vector multiplication" step of the leaf phase
+    (Algorithm 4, line 5).
+    """
+    m, n = A_ki.shape
+    if U_ii.n_cols != n:
+        raise ValueError("dimension mismatch")
+    work = np.zeros(m, dtype=np.float64)
+    mark = np.full(m, -1, dtype=np.int64)
+    xcols_rows: List[np.ndarray] = []
+    xcols_vals: List[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for c in range(n):
+        stamp = c
+        pattern: List[int] = []
+        arows, avals = A_ki.col(c)
+        for t in range(arows.size):
+            i = int(arows[t])
+            mark[i] = stamp
+            work[i] = avals[t]
+            pattern.append(i)
+        urows, uvals = U_ii.col(c)
+        udiag = 0.0
+        for t in range(urows.size):
+            tt = int(urows[t])
+            if tt == c:
+                udiag = uvals[t]
+                continue
+            if tt > c:
+                continue
+            uv = uvals[t]
+            xr = xcols_rows[tt]
+            xv = xcols_vals[tt]
+            ledger.sparse_flops += xr.size
+            for s in range(xr.size):
+                i = int(xr[s])
+                if mark[i] != stamp:
+                    mark[i] = stamp
+                    work[i] = 0.0
+                    pattern.append(i)
+                work[i] -= xv[s] * uv
+        if pattern and udiag == 0.0:
+            raise ZeroDivisionError(f"zero diagonal U({c},{c}) in lower off-diagonal solve")
+        pattern.sort()
+        pr = np.asarray(pattern, dtype=np.int64)
+        pv = work[pr] / udiag if pattern else np.empty(0, dtype=np.float64)
+        ledger.sparse_flops += pr.size
+        xcols_rows.append(pr)
+        xcols_vals.append(pv)
+        indptr[c + 1] = indptr[c] + pr.size
+        if pr.size:
+            ledger.columns += 1
+    indices = np.concatenate(xcols_rows) if xcols_rows else np.empty(0, dtype=np.int64)
+    data = np.concatenate(xcols_vals) if xcols_vals else np.empty(0, dtype=np.float64)
+    ledger.mem_words += indices.size
+    return CSC(m, n, indptr, indices, data)
+
+
+def upper_offdiag_solve(
+    L_ii: CSC, A_ij: CSC, ws: ReachWorkspace, ledger: CostLedger
+) -> CSC:
+    """Solve ``L_ii @ X = A_ij`` (rows of A already in pivoted order).
+
+    Per-column Gilbert–Peierls backsolve: reach DFS over the completed
+    ``L_ii`` graph for the pattern, then the sparse triangular solve in
+    topological order (Algorithm 4, lines 14/20).
+    """
+    n_i = L_ii.n_cols
+    m, n = A_ij.shape
+    if m != n_i:
+        raise ValueError("dimension mismatch")
+    x = np.zeros(n_i, dtype=np.float64)
+    out_rows: List[np.ndarray] = []
+    out_vals: List[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    xi = ws.xi
+    for c in range(n):
+        arows, avals = A_ij.col(c)
+        if arows.size == 0:
+            indptr[c + 1] = indptr[c]
+            continue
+        ws.next_stamp()
+        top, steps = topo_reach(L_ii.indptr, L_ii.indices, arows, None, ws)
+        ledger.dfs_steps += steps + arows.size
+        pat = xi[top:n_i]
+        x[pat] = 0.0
+        x[arows] = avals
+        for t in range(top, n_i):
+            j = int(xi[t])
+            xj = x[j]
+            if xj == 0.0:
+                continue
+            lo, hi = int(L_ii.indptr[j]), int(L_ii.indptr[j + 1])
+            rows_view = L_ii.indices[lo + 1 : hi]  # first entry is the unit pivot
+            x[rows_view] -= L_ii.data[lo + 1 : hi] * xj
+            ledger.sparse_flops += hi - lo - 1
+        pat_sorted = np.sort(pat)
+        out_rows.append(pat_sorted.copy())
+        out_vals.append(x[pat_sorted].copy())
+        indptr[c + 1] = indptr[c] + pat_sorted.size
+        ledger.columns += 1
+    indices = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=np.float64)
+    ledger.mem_words += indices.size
+    return CSC(n_i, n, indptr, indices, data)
+
+
+def sparse_product(L_ms: CSC, U_sj: CSC, ledger: CostLedger) -> CSC:
+    """Column-accumulated sparse product ``L_ms @ U_sj``.
+
+    One contributing thread's share of a reduction: the "multiple
+    parallel sparse matrix-vector multiplication" phase of Figure 4(d).
+    """
+    m = L_ms.n_rows
+    n = U_sj.n_cols
+    work = np.zeros(m, dtype=np.float64)
+    mark = np.full(m, -1, dtype=np.int64)
+    out_rows: List[np.ndarray] = []
+    out_vals: List[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for c in range(n):
+        stamp = c
+        pattern: List[int] = []
+        urows, uvals = U_sj.col(c)
+        for t in range(urows.size):
+            k = int(urows[t])
+            uv = uvals[t]
+            if uv == 0.0:
+                continue
+            lo, hi = int(L_ms.indptr[k]), int(L_ms.indptr[k + 1])
+            ledger.sparse_flops += hi - lo
+            for s in range(lo, hi):
+                i = int(L_ms.indices[s])
+                if mark[i] != stamp:
+                    mark[i] = stamp
+                    work[i] = 0.0
+                    pattern.append(i)
+                work[i] += L_ms.data[s] * uv
+        pattern.sort()
+        pr = np.asarray(pattern, dtype=np.int64)
+        out_rows.append(pr)
+        out_vals.append(work[pr].copy())
+        indptr[c + 1] = indptr[c] + pr.size
+        if pr.size:
+            ledger.columns += 1
+    indices = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=np.float64)
+    ledger.mem_words += indices.size
+    return CSC(m, n, indptr, indices, data)
+
+
+def subtract_products(A_mj: CSC, prods: List[CSC], ledger: CostLedger) -> CSC:
+    """``Â = A − Σ prods``: the combine phase of the reduction.
+
+    Pure scatter-add traffic (no multiplies) — cheap relative to the
+    product phase, which is why distributing the products pays off.
+    """
+    m, n = A_mj.shape
+    work = np.zeros(m, dtype=np.float64)
+    mark = np.full(m, -1, dtype=np.int64)
+    out_rows: List[np.ndarray] = []
+    out_vals: List[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for c in range(n):
+        stamp = c
+        pattern: List[int] = []
+        arows, avals = A_mj.col(c)
+        for t in range(arows.size):
+            i = int(arows[t])
+            mark[i] = stamp
+            work[i] = avals[t]
+            pattern.append(i)
+        for P in prods:
+            prows, pvals = P.col(c)
+            ledger.mem_words += prows.size
+            for t in range(prows.size):
+                i = int(prows[t])
+                if mark[i] != stamp:
+                    mark[i] = stamp
+                    work[i] = 0.0
+                    pattern.append(i)
+                work[i] -= pvals[t]
+        pattern.sort()
+        pr = np.asarray(pattern, dtype=np.int64)
+        out_rows.append(pr)
+        out_vals.append(work[pr].copy())
+        indptr[c + 1] = indptr[c] + pr.size
+    indices = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=np.float64)
+    return CSC(m, n, indptr, indices, data)
+
+
+def block_reduce(
+    A_mj: CSC,
+    contribs: List[Tuple[CSC, CSC]],
+    ledger: CostLedger,
+) -> CSC:
+    """``Â_mj = A_mj − Σ_s L_ms @ U_sj`` (Algorithm 4, lines 18/24).
+
+    ``contribs`` pairs each lower block ``L_ms`` with the matching
+    column-of-U block ``U_sj``.  Column-wise sparse accumulation — the
+    "multiple parallel sparse matrix-vector multiplication" phase of
+    the reduction.
+    """
+    m, n = A_mj.shape
+    work = np.zeros(m, dtype=np.float64)
+    mark = np.full(m, -1, dtype=np.int64)
+    out_rows: List[np.ndarray] = []
+    out_vals: List[np.ndarray] = []
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for c in range(n):
+        stamp = c
+        pattern: List[int] = []
+        arows, avals = A_mj.col(c)
+        for t in range(arows.size):
+            i = int(arows[t])
+            mark[i] = stamp
+            work[i] = avals[t]
+            pattern.append(i)
+        for L_ms, U_sj in contribs:
+            urows, uvals = U_sj.col(c)
+            for t in range(urows.size):
+                k = int(urows[t])
+                uv = uvals[t]
+                if uv == 0.0:
+                    continue
+                lo, hi = int(L_ms.indptr[k]), int(L_ms.indptr[k + 1])
+                ledger.sparse_flops += hi - lo
+                for s in range(lo, hi):
+                    i = int(L_ms.indices[s])
+                    if mark[i] != stamp:
+                        mark[i] = stamp
+                        work[i] = 0.0
+                        pattern.append(i)
+                    work[i] -= L_ms.data[s] * uv
+        pattern.sort()
+        pr = np.asarray(pattern, dtype=np.int64)
+        out_rows.append(pr)
+        out_vals.append(work[pr].copy())
+        indptr[c + 1] = indptr[c] + pr.size
+        if pr.size:
+            ledger.columns += 1
+    indices = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=np.int64)
+    data = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=np.float64)
+    ledger.mem_words += indices.size
+    return CSC(m, n, indptr, indices, data)
+
+
+# ----------------------------------------------------------------------
+# Fine-ND numeric factorization (Algorithm 4)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NDNumericBlock:
+    """Factors of one fine-ND block.
+
+    ``L``/``U`` are the assembled block-local factors satisfying
+    ``D[piv][:, :] = L @ U`` where ``D`` is the (already ND-ordered)
+    block and ``piv`` the concatenated per-node pivot permutation.
+    """
+
+    plan: NDBlockPlan
+    L: CSC
+    U: CSC
+    piv: np.ndarray
+    L_blocks: Dict[Tuple[int, int], CSC]
+    U_blocks: Dict[Tuple[int, int], CSC]
+    node_piv: Dict[int, np.ndarray]
+    ledger: CostLedger
+
+    @property
+    def factor_nnz(self) -> int:
+        # Unit diagonal of L not double counted with U's diagonal.
+        return self.L.nnz + self.U.nnz - self.L.n_cols
+
+    def offdiag_nnz(self, key: Tuple[int, int]) -> int:
+        blk = self.L_blocks.get(key) or self.U_blocks.get(key)
+        return blk.nnz if blk is not None else 0
+
+
+def _ws_bytes(*mats: CSC) -> float:
+    return sum(12.0 * m.nnz + 8.0 * m.n_cols for m in mats if m is not None)
+
+
+def factor_nd_block(
+    D: CSC,
+    plan: NDBlockPlan,
+    builder: TaskBuilder,
+    pivot_tol: float,
+    static_perturb: float = 0.0,
+    supernodal_separators: bool = False,
+    dense_threshold: float = DENSE_SEPARATOR_THRESHOLD,
+    pipeline_columns: Optional[int] = None,
+) -> NDNumericBlock:
+    """Run Algorithm 4 on one ND-ordered block, emitting tasks.
+
+    ``supernodal_separators`` enables the paper's future-work extension
+    (§VI): separator diagonal blocks whose reduced fill density exceeds
+    ``dense_threshold`` are factored with a dense partial-pivoting
+    kernel (cheap ``dense_flops``) instead of Gilbert-Peierls.
+
+    ``pipeline_columns`` switches the separator passes to per-column
+    pipelined task emission (chunks of that many columns) — the paper's
+    actual execution granularity; ``None`` keeps whole-block tasks.
+    """
+    part = plan.partition
+    b = plan.block_id
+    ranges = {t: part.node_range(t) for t in range(part.n_nodes)}
+    sizes = {t: ranges[t][1] - ranges[t][0] for t in range(part.n_nodes)}
+
+    # Extract the 2-D blocks (only ancestor-related pairs can be nonzero;
+    # the separator property guarantees the rest are empty).
+    A: Dict[Tuple[int, int], CSC] = {}
+    for t in range(part.n_nodes):
+        A[(t, t)] = D.submatrix(*ranges[t], *ranges[t])
+        for k in part.ancestors(t):
+            A[(k, t)] = D.submatrix(*ranges[k], *ranges[t])
+            A[(t, k)] = D.submatrix(*ranges[t], *ranges[k])
+
+    Lb: Dict[Tuple[int, int], CSC] = {}
+    Ub: Dict[Tuple[int, int], CSC] = {}
+    node_piv: Dict[int, np.ndarray] = {}
+    total = CostLedger()
+    ws_cache: Dict[int, ReachWorkspace] = {}
+
+    def reach_ws(node: int) -> ReachWorkspace:
+        if node not in ws_cache:
+            ws_cache[node] = ReachWorkspace(sizes[node])
+        return ws_cache[node]
+
+    def subtree_of(j: int) -> List[int]:
+        return [s for s in range(part.n_nodes) if j in part.ancestors(s)]
+
+    # ---------------- leaf phase (treelevel -1) ----------------
+    for i in part.leaves():
+        if sizes[i] == 0:
+            node_piv[i] = np.empty(0, dtype=np.int64)
+            continue
+        led = CostLedger()
+        lu = gp_factor(A[(i, i)], pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led)
+        Lb[(i, i)], Ub[(i, i)] = lu.L, lu.U
+        node_piv[i] = lu.row_perm
+        total.add(led)
+        builder.add(
+            ("leaf", b, i), led, deps=[], thread=plan.owner_thread[i],
+            working_set=_ws_bytes(lu.L, lu.U),
+        )
+        # Move block row i into pivoted space for the later U_ik solves.
+        for k in part.ancestors(i):
+            if A[(i, k)].nnz:
+                A[(i, k)] = A[(i, k)].permute(row_perm=lu.row_perm)
+        # Lower off-diagonal column sweep (line 5).
+        for k in part.ancestors(i):
+            if sizes[k] == 0:
+                continue
+            led2 = CostLedger()
+            Lki = lower_offdiag_solve(A[(k, i)], Ub[(i, i)], led2)
+            if Lki.nnz:
+                Lb[(k, i)] = Lki
+            total.add(led2)
+            builder.add(
+                ("lowoff", b, k, i), led2, deps=[("leaf", b, i)],
+                thread=plan.owner_thread[i],
+                working_set=_ws_bytes(Lki, Ub[(i, i)]),
+            )
+
+    # ---------------- separator passes (slevel = 1..log2 p) ----------------
+    seps = sorted(
+        (t for t in range(part.n_nodes) if not part.nodes[t].is_leaf),
+        key=lambda t: (part.nodes[t].height, t),
+    )
+    for j in seps:
+        n_j = sizes[j]
+        if n_j == 0:
+            node_piv[j] = np.empty(0, dtype=np.int64)
+            continue
+        T = subtree_of(j)
+        T_leaves = [s for s in T if part.nodes[s].is_leaf and sizes[s] > 0]
+        T_seps = sorted(
+            (s for s in T if not part.nodes[s].is_leaf and sizes[s] > 0),
+            key=lambda t: (part.nodes[t].height, t),
+        )
+        em = _PassEmitter(builder, n_j, pipeline_columns)
+
+        # treelevel 0: leaf-row upper blocks U_ij (line 14).
+        for i in T_leaves:
+            if A[(i, j)].nnz == 0:
+                continue
+            led = CostLedger()
+            Uij = upper_offdiag_solve(Lb[(i, i)], A[(i, j)], reach_ws(i), led)
+            if Uij.nnz:
+                Ub[(i, j)] = Uij
+            total.add(led)
+            em.add(
+                ("upoff", b, i, j), led,
+                external=[("leaf", b, i)],
+                thread=plan.owner_thread[i],
+                working_set=_ws_bytes(Uij, Lb[(i, i)]),
+                out=Uij,
+            )
+
+        def contrib_list(row_block: int, col_block: int, members: List[int]):
+            """Per-contributor (s, L, U, internal/external deps)."""
+            out = []
+            for s in members:
+                L_rs = Lb.get((row_block, s))
+                U_sc = Ub.get((s, col_block))
+                if L_rs is not None and U_sc is not None and L_rs.nnz and U_sc.nnz:
+                    if part.nodes[s].is_leaf:
+                        internal = [("upoff", b, s, col_block)]
+                        external = [("lowoff", b, row_block, s)]
+                    else:
+                        # U_sj is produced in this pass; L_{row,s} in
+                        # an earlier pass (column block s).
+                        internal = [("usep", b, s, col_block)]
+                        external = [("lowsep", b, row_block, s)]
+                    out.append((s, L_rs, U_sc, internal, external))
+            return out
+
+        def distributed_reduce(row_block: int, col_block: int, members: List[int]):
+            """Two-phase reduction per Figure 4(d): each contributing
+            thread computes its own L_rs @ U_sc product; the owning
+            thread combines with per-column point-to-point syncs.
+
+            Emits the product tasks and the ("reduce", b, row, col)
+            combine task; returns the reduced block.
+            """
+            contribs = contrib_list(row_block, col_block, members)
+            prods = []
+            part_keys = []
+            for s, L_rs, U_sc, internal, external in contribs:
+                pled = CostLedger()
+                P = sparse_product(L_rs, U_sc, pled)
+                prods.append(P)
+                total.add(pled)
+                key = ("rpart", b, row_block, col_block, s)
+                em.add(
+                    key, pled, internal=internal, external=external,
+                    thread=plan.owner_thread[s],
+                    working_set=_ws_bytes(P, L_rs),
+                    out=P,
+                )
+                part_keys.append(key)
+            cled = CostLedger()
+            Ahat = subtract_products(A[(row_block, col_block)], prods, cled)
+            total.add(cled)
+            em.add(
+                ("reduce", b, row_block, col_block), cled,
+                internal=part_keys, thread=plan.owner_thread[row_block],
+                working_set=_ws_bytes(Ahat),
+                sync_per_col=2 if contribs else 0,
+                out=Ahat,
+            )
+            return Ahat
+
+        # treelevel 1..slevel-1: intermediate separators (lines 15-21).
+        for m in T_seps:
+            if A[(m, j)].nnz == 0 and all(
+                Ub.get((s, j)) is None or Lb.get((m, s)) is None for s in subtree_of(m)
+            ):
+                continue
+            Ahat = distributed_reduce(m, j, subtree_of(m))
+            if Ahat.nnz == 0:
+                continue
+            led2 = CostLedger()
+            Umj = upper_offdiag_solve(Lb[(m, m)], Ahat, reach_ws(m), led2)
+            if Umj.nnz:
+                Ub[(m, j)] = Umj
+            total.add(led2)
+            em.add(
+                ("usep", b, m, j), led2,
+                internal=[("reduce", b, m, j)],
+                external=[("diagfac", b, m)],
+                thread=plan.owner_thread[m],
+                working_set=_ws_bytes(Umj, Lb[(m, m)]),
+                out=Umj,
+            )
+
+        # treelevel = slevel: reduce + factor the diagonal (lines 22-26).
+        Ahat_jj = distributed_reduce(j, j, T)
+        led2 = CostLedger()
+        density = Ahat_jj.nnz / max(n_j * n_j, 1)
+        if supernodal_separators and density > dense_threshold and n_j > 8:
+            lu = dense_lu_factor(Ahat_jj, static_perturb=static_perturb, ledger=led2)
+        else:
+            lu = gp_factor(Ahat_jj, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led2)
+        Lb[(j, j)], Ub[(j, j)] = lu.L, lu.U
+        node_piv[j] = lu.row_perm
+        total.add(led2)
+        em.add(
+            ("diagfac", b, j), led2,
+            internal=[("reduce", b, j, j)],
+            thread=plan.owner_thread[j], working_set=_ws_bytes(lu.L, lu.U),
+            chain=True,   # left-looking: column chunk c needs chunk c-1
+            out=lu.U,
+        )
+        # Move block row j into pivoted space: stored L_{j,s} and the
+        # unconsumed original blocks A_{j,k}.
+        for s in T:
+            blk = Lb.get((j, s))
+            if blk is not None and blk.nnz:
+                Lb[(j, s)] = blk.permute(row_perm=lu.row_perm)
+        for k in part.ancestors(j):
+            if A[(j, k)].nnz:
+                A[(j, k)] = A[(j, k)].permute(row_perm=lu.row_perm)
+
+        # Remaining lower off-diagonal blocks L_kj (line 28).
+        threads = plan.subtree_threads[j]
+        for idx, k in enumerate(part.ancestors(j)):
+            if sizes[k] == 0:
+                continue
+            contribs = contrib_list(k, j, T)
+            if A[(k, j)].nnz == 0 and not contribs:
+                continue
+            Ahat_kj = distributed_reduce(k, j, T)
+            led3 = CostLedger()
+            Lkj = lower_offdiag_solve(Ahat_kj, Ub[(j, j)], led3)
+            if Lkj.nnz:
+                Lb[(k, j)] = Lkj
+            total.add(led3)
+            em.add(
+                ("lowsep", b, k, j), led3,
+                internal=[("reduce", b, k, j), ("diagfac", b, j)],
+                thread=threads[idx % len(threads)],
+                working_set=_ws_bytes(Lkj, Ub[(j, j)]),
+                out=Lkj,
+            )
+
+        em.flush()
+
+    # ---------------- assembly ----------------
+    piv = np.arange(D.n_rows, dtype=np.int64)
+    for t in range(part.n_nodes):
+        lo, hi = ranges[t]
+        if hi > lo:
+            piv[lo:hi] = lo + node_piv[t]
+
+    splits = part.splits
+    Lbm = BlockMatrix(splits, splits)
+    Ubm = BlockMatrix(splits, splits)
+    for key, blk in Lb.items():
+        if blk.nnz:
+            Lbm.set(key[0], key[1], blk)
+    for key, blk in Ub.items():
+        if blk.nnz:
+            Ubm.set(key[0], key[1], blk)
+    L = Lbm.assemble()
+    U = Ubm.assemble()
+    total.mem_words += L.nnz + U.nnz
+    return NDNumericBlock(
+        plan=plan, L=L, U=U, piv=piv,
+        L_blocks=Lb, U_blocks=Ub, node_piv=node_piv, ledger=total,
+    )

@@ -1,0 +1,19 @@
+"""Package-wide exception types."""
+
+from __future__ import annotations
+
+__all__ = ["SingularMatrixError", "StructureError"]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a factorization meets a structurally or numerically
+    singular pivot and static perturbation is disabled."""
+
+    def __init__(self, message: str, column: int = -1):
+        super().__init__(message)
+        self.column = column
+
+
+class StructureError(ValueError):
+    """Raised when an input violates a structural precondition
+    (non-square block, broken separator property, bad permutation)."""

@@ -1,0 +1,118 @@
+"""Amesos2-style unified solver interface.
+
+Basker ships inside Trilinos behind the Amesos2 adapter layer, which
+gives every direct solver the same four-phase contract:
+``preOrdering -> symbolicFactorization -> numericFactorization ->
+solve``.  :class:`DirectSolver` reproduces that contract over the three
+solvers in this package, so downstream code (e.g. a Newton loop) can
+switch solvers with a string.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .core import Basker
+from .parallel.machine import MachineModel, SANDY_BRIDGE
+from .solvers import KLU, SupernodalLU, slu_mt
+from .solvers.extras import refine_solve, solve_multi, solve_transpose
+from .sparse.csc import CSC
+
+__all__ = ["DirectSolver", "available_solvers"]
+
+_REGISTRY = {
+    "basker": lambda opts: Basker(
+        n_threads=opts.get("n_threads", 8),
+        pivot_tol=opts.get("pivot_tol", 0.001),
+        supernodal_separators=opts.get("supernodal_separators", False),
+        nd_leaves=opts.get("nd_leaves"),
+    ),
+    "klu": lambda opts: KLU(
+        pivot_tol=opts.get("pivot_tol", 0.001),
+        scale=opts.get("scale"),
+    ),
+    "pardiso": lambda opts: SupernodalLU(),
+    "superlu_mt": lambda opts: slu_mt(),
+}
+
+
+def available_solvers() -> list:
+    return sorted(_REGISTRY)
+
+
+class DirectSolver:
+    """Four-phase Amesos2-like wrapper: analyze, factor, solve.
+
+    >>> solver = DirectSolver("basker", n_threads=8)
+    >>> solver.symbolic_factorization(A)
+    >>> solver.numeric_factorization(A)
+    >>> x = solver.solve(b)
+    """
+
+    def __init__(self, name: str, **options):
+        key = name.lower()
+        if key not in _REGISTRY:
+            raise ValueError(f"unknown solver {name!r}; available: {available_solvers()}")
+        self.name = key
+        self.options = options
+        self._impl = _REGISTRY[key](options)
+        self._symbolic = None
+        self._numeric = None
+        self._n = None
+
+    # ------------------------------------------------------------------
+    def symbolic_factorization(self, A: CSC) -> "DirectSolver":
+        self._symbolic = self._impl.analyze(A)
+        self._n = A.n_rows
+        self._numeric = None
+        return self
+
+    def numeric_factorization(self, A: CSC) -> "DirectSolver":
+        """Factor (or refactor when the pattern was already analyzed)."""
+        if self._symbolic is None:
+            self.symbolic_factorization(A)
+        self._numeric = self._impl.factor(A, symbolic=self._symbolic)
+        return self
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        self._require_numeric()
+        return solve_multi(self._impl, self._numeric, b)
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        self._require_numeric()
+        return solve_transpose(self._numeric, b)
+
+    def solve_refined(self, A: CSC, b: np.ndarray, max_steps: int = 3) -> np.ndarray:
+        self._require_numeric()
+        x, _ = refine_solve(self._impl, self._numeric, A, b, max_steps=max_steps)
+        return x
+
+    # ------------------------------------------------------------------
+    @property
+    def factor_nnz(self) -> int:
+        self._require_numeric()
+        return self._numeric.factor_nnz
+
+    def factor_seconds(
+        self, machine: MachineModel = SANDY_BRIDGE, n_threads: Optional[int] = None
+    ) -> float:
+        """Modelled numeric-factorization time on a machine model."""
+        self._require_numeric()
+        num = self._numeric
+        if hasattr(num, "schedule"):  # Basker / supernodal: parallel schedule
+            if self.name == "basker":
+                return num.factor_seconds(machine, n_threads=n_threads)
+            return num.factor_seconds(machine, n_threads=n_threads or 1)
+        return num.factor_seconds(machine)
+
+    def _require_numeric(self) -> None:
+        if self._numeric is None:
+            raise RuntimeError("numeric_factorization has not been run")
+
+    def __repr__(self) -> str:
+        state = "numeric" if self._numeric is not None else (
+            "symbolic" if self._symbolic is not None else "empty"
+        )
+        return f"DirectSolver({self.name!r}, state={state})"

@@ -1,0 +1,6 @@
+"""Iterative-solver substrate: GMRES + ILU(0) (the paper's ref. [21] comparator)."""
+
+from .gmres import GMRESResult, gmres
+from .ilu import ILU0Preconditioner, ilu0
+
+__all__ = ["gmres", "GMRESResult", "ilu0", "ILU0Preconditioner"]

@@ -1,0 +1,129 @@
+"""Restarted GMRES with optional (right) preconditioning.
+
+The comparator for the paper's motivation claim: on the Xyce1 circuit
+class, GMRES+ILU(0) stalls or costs far more than a direct
+factorization, which is why Xyce needed a better *direct* solver in the
+first place.  Flops are accounted into a ledger so iterative and direct
+costs can be compared on the same machine models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..parallel.ledger import CostLedger
+from ..sparse.csc import CSC
+
+__all__ = ["GMRESResult", "gmres"]
+
+
+@dataclass
+class GMRESResult:
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: List[float]      # true-residual history per outer iteration
+    ledger: CostLedger
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("inf")
+
+
+def gmres(
+    A: CSC,
+    b: np.ndarray,
+    M: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    restart: int = 30,
+    maxiter: int = 300,
+) -> GMRESResult:
+    """Right-preconditioned restarted GMRES(restart).
+
+    ``M`` applies the preconditioner inverse (e.g.
+    :meth:`ILU0Preconditioner.apply`).  ``maxiter`` counts total inner
+    iterations.  Convergence is declared on the *relative true
+    residual* ``||b - A x|| / ||b||``.
+    """
+    n = A.n_cols
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ValueError("dimension mismatch")
+    led = CostLedger()
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return GMRESResult(x=np.zeros(n), converged=True, iterations=0, residuals=[0.0], ledger=led)
+
+    def matvec(v):
+        led.sparse_flops += A.nnz
+        return A.matvec(v)
+
+    def precond(v):
+        return M(v) if M is not None else v
+
+    residuals: List[float] = []
+    total_iters = 0
+    while total_iters < maxiter:
+        r = b - matvec(x)
+        beta = float(np.linalg.norm(r))
+        residuals.append(beta / bnorm)
+        if beta / bnorm <= tol:
+            return GMRESResult(x=x, converged=True, iterations=total_iters,
+                               residuals=residuals, ledger=led)
+        m = min(restart, maxiter - total_iters)
+        V = np.zeros((n, m + 1))
+        H = np.zeros((m + 1, m))
+        Z = np.zeros((n, m))      # preconditioned directions (right prec.)
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[:, 0] = r / beta
+        g[0] = beta
+        k_used = 0
+        for k in range(m):
+            Z[:, k] = precond(V[:, k])
+            w = matvec(Z[:, k])
+            # Modified Gram-Schmidt.
+            for i in range(k + 1):
+                H[i, k] = float(w @ V[:, i])
+                w -= H[i, k] * V[:, i]
+                led.sparse_flops += 2 * n
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-300:
+                V[:, k + 1] = w / H[k + 1, k]
+            # Apply stored Givens rotations, then a new one.
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            if denom == 0.0:
+                cs[k], sn[k] = 1.0, 0.0
+            else:
+                cs[k], sn[k] = H[k, k] / denom, H[k + 1, k] / denom
+            H[k, k] = cs[k] * H[k, k] + sn[k] * H[k + 1, k]
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            k_used = k + 1
+            total_iters += 1
+            if abs(g[k + 1]) / bnorm <= tol:
+                break
+        # Solve the small triangular system and update x.
+        y = np.zeros(k_used)
+        for i in range(k_used - 1, -1, -1):
+            y[i] = (g[i] - H[i, i + 1 : k_used] @ y[i + 1 : k_used]) / H[i, i]
+        x = x + Z[:, :k_used] @ y
+        led.sparse_flops += 2 * n * k_used
+
+    r = b - matvec(x)
+    residuals.append(float(np.linalg.norm(r)) / bnorm)
+    return GMRESResult(
+        x=x, converged=residuals[-1] <= tol, iterations=total_iters,
+        residuals=residuals, ledger=led,
+    )

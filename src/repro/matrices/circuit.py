@@ -1,0 +1,288 @@
+"""Circuit-style sparse matrix generators.
+
+Building blocks for the Table I analogs: irregular low fill-in
+patterns, controllable BTF structure (many tiny strongly connected
+blocks plus optionally one big irreducible block), semi-dense coupling
+columns that only a BTF-aware solver can avoid factoring, and
+high-asymmetry rows that poison symmetrized (supernodal) orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sparse.csc import CSC
+
+__all__ = [
+    "ladder_circuit",
+    "thick_ladder",
+    "cyclic_block",
+    "btf_composite",
+    "add_semi_dense_columns",
+    "zero_diagonal_pairs",
+]
+
+
+def ladder_circuit(
+    n: int,
+    extra_taps: float = 0.5,
+    long_range_frac: float = 0.02,
+    rng: np.random.Generator | None = None,
+    diag_dominance: float = 1.0,
+) -> CSC:
+    """A strongly connected ladder/bus network: one irreducible block.
+
+    Models the memory-chip / Freescale class: near-banded nearest
+    neighbour coupling with a sprinkle of long-range taps, very low
+    fill-in under AMD, BTF useless (single SCC).
+    """
+    rng = rng or np.random.default_rng(0)
+    rows, cols, vals = [], [], []
+    deg = np.zeros(n)
+
+    def add(i, j, w):
+        rows.append(i)
+        cols.append(j)
+        vals.append(w)
+        deg[i] += abs(w)
+
+    for i in range(n - 1):
+        w1 = -1.0 - rng.random()
+        w2 = -1.0 - rng.random()
+        add(i, i + 1, w1)
+        add(i + 1, i, w2)
+    n_extra = int(extra_taps * n)
+    for _ in range(n_extra):
+        i = int(rng.integers(n))
+        j = int(rng.integers(max(0, i - 8), min(n, i + 9)))
+        if i != j:
+            w = -rng.random()
+            add(i, j, w)
+            add(j, i, -rng.random())
+    n_long = int(long_range_frac * n)
+    for _ in range(n_long):
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i != j:
+            add(i, j, -rng.random())
+            add(j, i, -rng.random())
+    for i in range(n):
+        add(i, i, deg[i] + diag_dominance + rng.random())
+    return CSC.from_coo(rows, cols, vals, (n, n))
+
+
+def thick_ladder(
+    length: int,
+    width: int = 6,
+    tap_frac: float = 0.08,
+    long_range_frac: float = 0.002,
+    rng: np.random.Generator | None = None,
+) -> CSC:
+    """A bus-bundle circuit: ``width`` parallel rails of ``length`` nodes.
+
+    Nearest-neighbour coupling along and across the rails plus a few
+    skip taps.  Quasi-1-D with a little transverse structure — the
+    shape of large interconnect/memory circuits: low fill-in under any
+    reasonable ordering, small ND separators (one rail cross-section),
+    so the irreducible block parallelizes well.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = length * width
+    idx = lambda i, j: i * width + j
+    rows, cols, vals = [], [], []
+    deg = np.zeros(n)
+
+    def add(i, j, w):
+        rows.append(i)
+        cols.append(j)
+        vals.append(w)
+        deg[i] += abs(w)
+
+    for i in range(length):
+        for j in range(width):
+            a = idx(i, j)
+            if i + 1 < length:
+                b = idx(i + 1, j)
+                add(a, b, -1.0 - rng.random())
+                add(b, a, -1.0 - rng.random())
+            if j + 1 < width:
+                b = idx(i, j + 1)
+                add(a, b, -1.0 - rng.random())
+                add(b, a, -1.0 - rng.random())
+    for _ in range(int(tap_frac * n)):
+        i = int(rng.integers(n))
+        j = int(rng.integers(max(0, i - 2 * width), min(n, i + 2 * width)))
+        if i != j:
+            add(i, j, -rng.random())
+            add(j, i, -rng.random())
+    for _ in range(int(long_range_frac * n)):
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i != j:
+            add(i, j, -rng.random())
+            add(j, i, -rng.random())
+    for i in range(n):
+        add(i, i, deg[i] + 1.0 + rng.random())
+    return CSC.from_coo(rows, cols, vals, (n, n))
+
+
+def cyclic_block(
+    size: int,
+    density: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> Tuple[List[int], List[int], List[float]]:
+    """Triplets of one strongly connected block (directed cycle + chords).
+
+    Returned in local 0-based coordinates for composition.
+    """
+    rng = rng or np.random.default_rng(0)
+    rows, cols, vals = [], [], []
+    deg = np.zeros(size)
+    # Directed cycle guarantees strong connectivity.
+    for i in range(size):
+        j = (i + 1) % size
+        if size > 1:
+            w = -1.0 - rng.random()
+            rows.append(j)
+            cols.append(i)
+            vals.append(w)
+            deg[j] += abs(w)
+    n_chord = int(density * size * max(size - 1, 1))
+    for _ in range(n_chord):
+        i, j = int(rng.integers(size)), int(rng.integers(size))
+        if i != j:
+            w = -rng.random()
+            rows.append(i)
+            cols.append(j)
+            vals.append(w)
+            deg[i] += abs(w)
+    for i in range(size):
+        rows.append(i)
+        cols.append(i)
+        vals.append(deg[i] + 1.0 + rng.random())
+    return rows, cols, vals
+
+
+def btf_composite(
+    small_block_sizes: Sequence[int],
+    big_block: Optional[CSC] = None,
+    coupling_per_block: float = 1.0,
+    block_density: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> CSC:
+    """Compose a matrix with a prescribed coarse BTF structure.
+
+    Layout: the big irreducible block (if any) first, then the small
+    strongly connected blocks, with strictly *upward* random coupling
+    entries (rows in earlier blocks, columns in later ones) so the
+    block triangular form is exactly the construction.
+
+    ``coupling_per_block``: expected number of coupling entries per
+    small block.
+    """
+    rng = rng or np.random.default_rng(0)
+    offsets = []
+    cursor = 0
+    if big_block is not None:
+        offsets.append(cursor)
+        cursor += big_block.n_rows
+    small_offsets = []
+    for s in small_block_sizes:
+        small_offsets.append(cursor)
+        cursor += int(s)
+    n = cursor
+
+    rows, cols, vals = [], [], []
+    if big_block is not None:
+        col_of = np.repeat(np.arange(big_block.n_cols), np.diff(big_block.indptr))
+        rows += big_block.indices.tolist()
+        cols += col_of.tolist()
+        vals += big_block.data.tolist()
+    for off, s in zip(small_offsets, small_block_sizes):
+        r, c, v = cyclic_block(int(s), density=block_density, rng=rng)
+        rows += [off + i for i in r]
+        cols += [off + j for j in c]
+        vals += v
+    # Upward coupling: from a later block's column into an earlier row.
+    for bi, (off, s) in enumerate(zip(small_offsets, small_block_sizes)):
+        if off == 0:
+            continue  # nothing above the first block
+        k = rng.poisson(coupling_per_block)
+        for _ in range(int(k)):
+            j = off + int(rng.integers(s))
+            i = int(rng.integers(off))  # strictly above this block
+            if i < j:
+                rows.append(i)
+                cols.append(j)
+                vals.append(-0.5 * rng.random())
+    return CSC.from_coo(rows, cols, vals, (n, n))
+
+
+def zero_diagonal_pairs(
+    A: CSC,
+    pairs: Sequence[Tuple[int, int]],
+    rng: np.random.Generator | None = None,
+) -> CSC:
+    """Zero out the diagonal of each pair (i, j), strengthening the
+    cross entries instead.
+
+    Circuit matrices (famously rajat21) contain voltage-source-like
+    rows with structural zero diagonals: solvable only after a
+    matching/row exchange.  Solvers without MC64-style matching or
+    pivoting fail with a zero pivot here.
+    """
+    rng = rng or np.random.default_rng(0)
+    kill = set()
+    for i, j in pairs:
+        kill.add((int(i), int(i)))
+        kill.add((int(j), int(j)))
+    col_of = np.repeat(np.arange(A.n_cols), np.diff(A.indptr))
+    rows, cols, vals = [], [], []
+    for r, c, v in zip(A.indices.tolist(), col_of.tolist(), A.data.tolist()):
+        if (r, c) in kill:
+            continue
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+    for i, j in pairs:
+        w = 2.0 + rng.random()
+        rows += [int(i), int(j)]
+        cols += [int(j), int(i)]
+        vals += [w, w + rng.random()]
+    return CSC.from_coo(rows, cols, vals, A.shape)
+
+
+def add_semi_dense_columns(
+    A: CSC,
+    n_cols: int,
+    touch_frac: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> CSC:
+    """Append semi-dense coupling columns/rows to a matrix.
+
+    Each added column has entries scattered over ``touch_frac`` of the
+    existing rows, its own diagonal, and *one* feedback entry — the
+    pattern the paper blames for PMKL's weakness ("the reason for this
+    is due to semi-dense columns that Basker is able to avoid
+    factoring"): after BTF, each added vertex is its own 1x1 block and
+    the dense column lands entirely in never-factored off-diagonal
+    blocks, while a symmetrized supernodal ordering sees a huge clique.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = A.n_rows
+    total = n + n_cols
+    col_of = np.repeat(np.arange(A.n_cols), np.diff(A.indptr))
+    rows = A.indices.tolist()
+    cols = col_of.tolist()
+    vals = A.data.tolist()
+    for k in range(n_cols):
+        j = n + k
+        touched = rng.choice(n, size=max(1, int(touch_frac * n)), replace=False)
+        for i in touched:
+            rows.append(int(i))
+            cols.append(j)
+            vals.append(-0.1 * rng.random())
+        rows.append(j)
+        cols.append(j)
+        vals.append(5.0 + rng.random())
+    return CSC.from_coo(rows, cols, vals, (total, total))

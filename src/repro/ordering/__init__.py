@@ -1,0 +1,24 @@
+"""Fill-reducing and structure-revealing orderings: AMD, BTF, ND."""
+
+from .amd import amd_order
+from .btf import BTFResult, btf
+from .nd import NDNode, NDPartition, nd_order, nested_dissection
+from .rcm import bandwidth, rcm_order
+from .perm import apply_to_vector, compose, identity, invert, is_permutation
+
+__all__ = [
+    "amd_order",
+    "btf",
+    "BTFResult",
+    "nested_dissection",
+    "nd_order",
+    "NDPartition",
+    "NDNode",
+    "invert",
+    "compose",
+    "identity",
+    "is_permutation",
+    "apply_to_vector",
+    "rcm_order",
+    "bandwidth",
+]

@@ -1,0 +1,58 @@
+"""Permutation utilities.
+
+Conventions used throughout the package (matching :meth:`CSC.permute`):
+a permutation ``p`` maps *new* positions to *old* ones, i.e. applying
+``p`` produces ``B[i] = x[p[i]]`` (NumPy fancy indexing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["invert", "compose", "is_permutation", "identity", "apply_to_vector", "random_permutation"]
+
+
+def identity(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def invert(p: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``invert(p)[p[i]] == i``."""
+    p = np.asarray(p, dtype=np.int64)
+    inv = np.empty_like(p)
+    inv[p] = np.arange(p.size, dtype=np.int64)
+    return inv
+
+
+def compose(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """The permutation equivalent to applying ``p`` first, then ``q``.
+
+    If ``y = x[p]`` and ``z = y[q]`` then ``z = x[compose(p, q)]``,
+    i.e. ``compose(p, q) = p[q]``.
+    """
+    p = np.asarray(p, dtype=np.int64)
+    q = np.asarray(q, dtype=np.int64)
+    if p.size != q.size:
+        raise ValueError("size mismatch")
+    return p[q]
+
+
+def is_permutation(p: np.ndarray) -> bool:
+    p = np.asarray(p)
+    if p.ndim != 1:
+        return False
+    seen = np.zeros(p.size, dtype=bool)
+    for v in p:
+        if v < 0 or v >= p.size or seen[v]:
+            return False
+        seen[v] = True
+    return True
+
+
+def apply_to_vector(p: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``y[i] = x[p[i]]``."""
+    return np.asarray(x)[np.asarray(p, dtype=np.int64)]
+
+
+def random_permutation(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.permutation(n).astype(np.int64)

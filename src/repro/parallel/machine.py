@@ -1,0 +1,124 @@
+"""Machine models for the two testbeds of the paper.
+
+The paper evaluates on (a) a two-socket Intel SandyBridge Xeon E5-2670
+(16 cores, 20 MB shared L3 per socket) and (b) an Intel Xeon Phi
+coprocessor (61 slow in-order cores, 512 KB L2 per core, **no shared
+L3**), used at up to 32 cores because Basker needs a power of two.
+
+A :class:`MachineModel` prices a :class:`CostLedger` in seconds.  The
+parameters are calibrated to the paper's *relative* observations rather
+than to absolute hardware specs:
+
+* KLU (all sparse flops) runs ~8–14x slower serially on Phi than on
+  SandyBridge (paper Fig. 6 titles: Power0 0.07 s vs 0.54 s, Xyce3
+  32 s vs 443 s).
+* Dense (BLAS) flops are much cheaper than scattered sparse flops, and
+  the dense:sparse price ratio is *wider* on Phi (vector units are the
+  only way to get throughput there) — that is why PMKL looks relatively
+  better on Phi (paper §V-D).
+* Working sets that spill out of L2 pay a penalty that grows with the
+  overflow factor; on SandyBridge the shared L3 absorbs most of it, on
+  Phi there is nothing behind L2 (paper's explanation for Fig. 8b's
+  divergence at 32 cores and for Basker's weaker high-fill behaviour on
+  Phi).
+* Synchronization: a full barrier costs per participating core; a
+  point-to-point sync is a single cache-line handshake (paper §IV cites
+  11 % -> 2.3 % of runtime going from barrier to p2p on G2_Circuit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ledger import CostLedger
+
+__all__ = ["MachineModel", "SANDY_BRIDGE", "XEON_PHI"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    name: str
+    max_cores: int
+    t_sparse_flop: float
+    t_dense_flop: float
+    t_dfs_step: float
+    t_mem_word: float
+    t_column: float
+    t_barrier_core: float   # per-core cost of a full barrier
+    t_p2p: float            # cost of one point-to-point handshake
+    l2_bytes: int
+    l3_bytes: int           # 0 means no shared last-level cache
+    l2_spill_penalty: float  # extra cost fraction per doubling past L2 (absorbed by L3 if present)
+    l3_spill_penalty: float  # extra cost fraction per doubling past L3
+
+    def cache_factor(self, working_set_bytes: float) -> float:
+        """Multiplier >= 1 modelling locality loss for large working sets."""
+        if working_set_bytes <= self.l2_bytes or working_set_bytes <= 0:
+            return 1.0
+        f = 1.0
+        if self.l3_bytes > self.l2_bytes:
+            spill_to = min(working_set_bytes, float(self.l3_bytes))
+            f += self.l2_spill_penalty * np.log2(spill_to / self.l2_bytes)
+            if working_set_bytes > self.l3_bytes:
+                f += self.l3_spill_penalty * np.log2(working_set_bytes / self.l3_bytes)
+        else:
+            f += self.l3_spill_penalty * np.log2(working_set_bytes / self.l2_bytes)
+        return float(f)
+
+    def seconds(self, ledger: CostLedger, working_set_bytes: float = 0.0) -> float:
+        """Price a ledger on one core of this machine."""
+        base = (
+            ledger.sparse_flops * self.t_sparse_flop
+            + ledger.dense_flops * self.t_dense_flop
+            + ledger.dfs_steps * self.t_dfs_step
+            + ledger.mem_words * self.t_mem_word
+            + ledger.columns * self.t_column
+        )
+        return base * self.cache_factor(working_set_bytes)
+
+    def barrier_cost(self, n_threads: int) -> float:
+        return self.t_barrier_core * n_threads
+
+    def p2p_cost(self) -> float:
+        return self.t_p2p
+
+    def validate_threads(self, p: int) -> None:
+        if p < 1 or p > self.max_cores:
+            raise ValueError(f"{self.name} supports 1..{self.max_cores} cores, got {p}")
+
+
+# Calibrated parameter sets.  Absolute scales are arbitrary (simulated
+# seconds); ratios encode the architectural contrasts listed above.
+SANDY_BRIDGE = MachineModel(
+    name="SandyBridge",
+    max_cores=16,
+    t_sparse_flop=2.0e-9,
+    t_dense_flop=2.6e-10,
+    t_dfs_step=1.0e-9,
+    t_mem_word=7.0e-10,
+    t_column=1.8e-8,
+    t_barrier_core=4.5e-8,
+    t_p2p=6.5e-8,
+    l2_bytes=256 * 1024,
+    l3_bytes=20 * 1024 * 1024,
+    l2_spill_penalty=0.06,
+    l3_spill_penalty=0.30,
+)
+
+XEON_PHI = MachineModel(
+    name="XeonPhi",
+    max_cores=32,
+    t_sparse_flop=2.1e-8,
+    t_dense_flop=1.6e-9,
+    t_dfs_step=1.1e-8,
+    t_mem_word=6.0e-9,
+    t_column=1.5e-7,
+    t_barrier_core=3.5e-7,
+    t_p2p=3.5e-7,
+    l2_bytes=512 * 1024,
+    l3_bytes=0,
+    l2_spill_penalty=0.0,
+    l3_spill_penalty=0.28,
+)

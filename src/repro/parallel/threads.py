@@ -1,0 +1,38 @@
+"""Optional real-thread backend for embarrassingly parallel phases.
+
+The fine-BTF numeric factorization is a parallel-for over independent
+diagonal blocks (paper, Algorithm 2's numeric counterpart).  This module
+runs that loop on a real :class:`~concurrent.futures.ThreadPoolExecutor`
+so the code path exists and is tested — with the honest caveat that
+CPython's GIL serializes the pure-Python kernels, so wall-clock speedup
+is *not* expected here (reproduction band: "GIL blocks threaded
+speedups").  The performance results in the benches come from the
+simulated scheduler in :mod:`repro.parallel.sim`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_threads: int = 1,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally on a real thread pool.
+
+    With ``n_threads <= 1`` this is a plain loop (the default used by
+    the deterministic benches).  Results are returned in input order;
+    exceptions propagate.
+    """
+    if n_threads <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,78 @@
+"""Dense LU kernel for high fill-in blocks.
+
+The paper's future work (§VI): "adding supernodes to the hierarchy
+structure to improve performance on high fill-in matrices".  This
+module provides the building block: a dense partial-pivoting LU whose
+work lands in the cheap ``dense_flops`` ledger bucket, used by Basker's
+``supernodal_separators`` mode to factor separator diagonal blocks that
+have filled in past the point where Gilbert–Peierls' sparse bookkeeping
+pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from ..parallel.ledger import CostLedger
+from ..sparse.csc import CSC
+from .gp import GPResult
+
+__all__ = ["dense_lu_factor", "DENSE_SEPARATOR_THRESHOLD"]
+
+# Fill density (nnz / n^2 of the reduced block) above which the dense
+# kernel is preferred by Basker's supernodal-separator mode.
+DENSE_SEPARATOR_THRESHOLD = 0.22
+
+
+def dense_lu_factor(
+    A: CSC,
+    static_perturb: float = 0.0,
+    drop_tol: float = 0.0,
+    ledger: CostLedger | None = None,
+) -> GPResult:
+    """Dense LU with partial pivoting, returned in the GP result format.
+
+    The factors are converted back to CSC; entries with magnitude
+    <= ``drop_tol`` are dropped from the stored factors (0 keeps the
+    full dense triangles — the honest memory cost of going dense).
+    """
+    n = A.n_cols
+    if A.n_rows != n:
+        raise ValueError("dense LU requires a square matrix")
+    led = ledger if ledger is not None else CostLedger()
+    if n == 0:
+        e = CSC.empty(0, 0)
+        return GPResult(e, e, np.empty(0, dtype=np.int64), led)
+
+    M = A.to_dense()
+    led.mem_words += A.nnz + n * n / 8.0  # scatter + zero init (words)
+    perm = np.arange(n, dtype=np.int64)
+    eps = static_perturb
+
+    for k in range(n):
+        # Partial pivoting: largest magnitude in the remaining column.
+        p = k + int(np.argmax(np.abs(M[k:, k])))
+        if M[p, k] == 0.0:
+            if eps > 0.0:
+                M[p, k] = eps
+            else:
+                raise SingularMatrixError(f"dense LU: zero pivot column {k}", column=k)
+        if p != k:
+            M[[k, p], :] = M[[p, k], :]
+            perm[[k, p]] = perm[[p, k]]
+        if k + 1 < n:
+            M[k + 1 :, k] /= M[k, k]
+            M[k + 1 :, k + 1 :] -= np.outer(M[k + 1 :, k], M[k, k + 1 :])
+    led.dense_flops += 2.0 * n**3 / 3.0
+    led.columns += n
+
+    L = np.tril(M, -1)
+    np.fill_diagonal(L, 1.0)
+    U = np.triu(M)
+    Lc = CSC.from_dense(L, drop_tol=drop_tol)
+    Uc = CSC.from_dense(U, drop_tol=drop_tol)
+    # Keep the diagonals even under aggressive dropping.
+    led.mem_words += Lc.nnz + Uc.nnz
+    row_perm = perm  # rows of A in pivot order: A[perm] = L @ U
+    return GPResult(Lc, Uc, row_perm, led)

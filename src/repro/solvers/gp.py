@@ -1,0 +1,318 @@
+"""The Gilbert–Peierls sparse LU kernel (Algorithm 1 of the paper).
+
+Left-looking column factorization with partial pivoting whose total
+work is proportional to the arithmetic operations performed (Gilbert &
+Peierls, SISSC 1988).  For every column ``k``:
+
+1.  the fill pattern of column ``k`` is the reach of ``pattern(A(:,k))``
+    in the graph of the partially built L (a stamped DFS emitting
+    topological order — :func:`repro.graph.dfs.topo_reach`);
+2.  a sparse lower-triangular solve updates the column values in that
+    order;
+3.  a pivot is chosen (threshold partial pivoting with diagonal
+    preference, KLU-style) and the column is split into L and U.
+
+The implementation mirrors CSparse's ``cs_lu``: L's row indices stay in
+*original* numbering during factorization (``pinv`` maps a row to the
+column it became pivot of) and are renumbered at the end.  Every
+operation is counted into a :class:`~repro.parallel.ledger.CostLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SingularMatrixError
+from ..graph.dfs import ReachWorkspace, topo_reach
+from ..parallel.ledger import CostLedger
+from ..sparse.csc import CSC
+
+__all__ = ["GPResult", "gp_factor", "GP_DEFAULT_PIVOT_TOL"]
+
+GP_DEFAULT_PIVOT_TOL = 0.001  # KLU's default diagonal-preference threshold
+
+
+@dataclass
+class GPResult:
+    """LU factorization ``A[row_perm, :] = L @ U``.
+
+    ``L`` is unit lower triangular (unit diagonal stored explicitly),
+    ``U`` upper triangular.  ``row_perm`` follows the fancy-index
+    convention: row ``i`` of the factored matrix is row ``row_perm[i]``
+    of the input.
+    """
+
+    L: CSC
+    U: CSC
+    row_perm: np.ndarray
+    ledger: CostLedger
+
+    @property
+    def n(self) -> int:
+        return self.L.n_rows
+
+    @property
+    def factor_nnz(self) -> int:
+        return self.L.nnz + self.U.nnz
+
+
+def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
+    if needed <= arr.size:
+        return arr
+    new = max(needed, 2 * arr.size, 16)
+    out = np.empty(new, dtype=arr.dtype)
+    out[: arr.size] = arr
+    return out
+
+
+def gp_refactor(
+    A: CSC,
+    prior: GPResult,
+    ledger: CostLedger | None = None,
+    pivot_floor: float = 0.0,
+) -> GPResult:
+    """Values-only refactorization on a fixed pattern and pivot order.
+
+    The ``klu_refactor`` fast path: reuse the previous factorization's
+    nonzero pattern *and* row permutation, recompute only the values —
+    no reach DFS, no pivot search.  Raises
+    :class:`SingularMatrixError` when a reused pivot falls to zero (or
+    below ``pivot_floor``); callers then fall back to a full
+    :func:`gp_factor` with fresh pivoting, exactly like KLU users do.
+    """
+    n = A.n_cols
+    if A.n_rows != n:
+        raise ValueError("GP refactorization requires a square matrix")
+    if prior.L.shape != (n, n):
+        raise ValueError("prior factors have the wrong shape")
+    led = ledger if ledger is not None else CostLedger()
+    if n == 0:
+        e = CSC.empty(0, 0)
+        return GPResult(e, e, np.empty(0, dtype=np.int64), led)
+
+    L, U = prior.L, prior.U
+    row_perm = prior.row_perm
+    # A in pivot order: row i of B is row row_perm[i] of A.
+    B = A.permute(row_perm=row_perm)
+
+    Lx = np.zeros(L.nnz, dtype=np.float64)
+    Ux = np.zeros(U.nnz, dtype=np.float64)
+    x = np.zeros(n, dtype=np.float64)
+
+    for k in range(n):
+        lrows = L.indices[L.indptr[k] : L.indptr[k + 1]]
+        urows = U.indices[U.indptr[k] : U.indptr[k + 1]]
+        # Scatter column k of B onto the union pattern.
+        x[lrows] = 0.0
+        x[urows] = 0.0
+        arows, avals = B.col(k)
+        x[arows] = avals
+        # Sparse triangular solve along the *known* pattern: the rows
+        # of U(:, k) above the diagonal are exactly the pivotal columns
+        # that update column k, already in increasing (= topological
+        # for a fixed pivot order) order.
+        for t in range(urows.size - 1):  # last entry is the diagonal
+            j = int(urows[t])
+            xj = x[j]
+            if xj == 0.0:
+                continue
+            lo, hi = int(L.indptr[j]), int(L.indptr[j + 1])
+            rows_view = L.indices[lo + 1 : hi]
+            x[rows_view] -= Lx[lo + 1 : hi] * xj
+            led.sparse_flops += hi - lo - 1
+        led.columns += 1
+        # Split into U (pivotal rows) and L (below, divided by pivot).
+        Ux[U.indptr[k] : U.indptr[k + 1]] = x[urows]
+        piv = x[k]
+        if abs(piv) <= pivot_floor or piv == 0.0:
+            raise SingularMatrixError(
+                f"refactor: reused pivot at column {k} is unusable "
+                f"({piv!r}); refactor with fresh pivoting",
+                column=k,
+            )
+        lo, hi = int(L.indptr[k]), int(L.indptr[k + 1])
+        Lx[lo] = 1.0
+        Lx[lo + 1 : hi] = x[L.indices[lo + 1 : hi]] / piv
+        led.sparse_flops += hi - lo - 1
+    led.mem_words += L.nnz + U.nnz
+
+    Lnew = CSC(n, n, L.indptr.copy(), L.indices.copy(), Lx)
+    Unew = CSC(n, n, U.indptr.copy(), U.indices.copy(), Ux)
+    return GPResult(Lnew, Unew, row_perm.copy(), led)
+
+
+def gp_factor(
+    A: CSC,
+    pivot_tol: float = GP_DEFAULT_PIVOT_TOL,
+    static_perturb: float = 0.0,
+    ledger: CostLedger | None = None,
+) -> GPResult:
+    """Factor a square sparse matrix with Gilbert–Peierls LU.
+
+    Parameters
+    ----------
+    A
+        Square CSC matrix.
+    pivot_tol
+        Diagonal-preference threshold in [0, 1]: the diagonal entry is
+        kept as pivot when ``|A_kk| >= pivot_tol * max|column|``
+        (KLU semantics; 1.0 = strict partial pivoting, 0 < tol << 1
+        trusts the MWCM ordering and preserves sparsity).
+    static_perturb
+        If > 0 and a column has no usable pivot, a pivot of magnitude
+        ``static_perturb`` is substituted instead of raising
+        :class:`SingularMatrixError` (the static-pivoting escape hatch
+        used by the supernodal baseline; Basker/KLU leave it at 0).
+    ledger
+        Optional ledger to accumulate into (a fresh one otherwise).
+    """
+    n = A.n_cols
+    if A.n_rows != n:
+        raise ValueError("GP factorization requires a square matrix")
+    led = ledger if ledger is not None else CostLedger()
+
+    if n == 0:
+        e = CSC.empty(0, 0)
+        return GPResult(e, e, np.empty(0, dtype=np.int64), led)
+
+    # Growing factor storage.
+    cap = max(4 * A.nnz + n, 16)
+    Lp = np.zeros(n + 1, dtype=np.int64)
+    Li = np.empty(cap, dtype=np.int64)
+    Lx = np.empty(cap, dtype=np.float64)
+    Up = np.zeros(n + 1, dtype=np.int64)
+    Ui = np.empty(cap, dtype=np.int64)
+    Ux = np.empty(cap, dtype=np.float64)
+    lnz = unz = 0
+
+    pinv = np.full(n, -1, dtype=np.int64)
+    x = np.zeros(n, dtype=np.float64)
+    ws = ReachWorkspace(n)
+    xi = ws.xi
+
+    for k in range(n):
+        arows, avals = A.col(k)
+        ws.next_stamp()
+        top, steps = topo_reach(Lp, Li, arows, pinv, ws)
+        led.dfs_steps += steps + arows.size
+        led.columns += 1
+
+        # Clear + scatter the column values onto the reach pattern.
+        pat = xi[top:n]
+        x[pat] = 0.0
+        x[arows] = avals
+
+        # Sparse triangular solve in topological order.
+        for t in range(top, n):
+            j = int(xi[t])
+            jcol = int(pinv[j])
+            if jcol < 0:
+                continue
+            xj = x[j]
+            if xj == 0.0:
+                continue
+            lo = int(Lp[jcol])
+            hi = int(Lp[jcol + 1])
+            # First entry of each L column is its (unit) pivot row.
+            rows_view = Li[lo + 1 : hi]
+            x[rows_view] -= Lx[lo + 1 : hi] * xj
+            led.sparse_flops += hi - lo - 1
+
+        # Pivot search among non-pivotal rows of the pattern.
+        ipiv = -1
+        pivmag = -1.0
+        diag_val = None
+        for t in range(top, n):
+            i = int(xi[t])
+            if pinv[i] >= 0:
+                continue
+            mag = abs(x[i])
+            if mag > pivmag:
+                pivmag = mag
+                ipiv = i
+            if i == k:
+                diag_val = x[i]
+        if diag_val is not None and pivmag > 0.0 and abs(diag_val) >= pivot_tol * pivmag:
+            ipiv = k
+        if ipiv < 0 or x[ipiv] == 0.0:
+            if static_perturb > 0.0:
+                # Choose any non-pivotal row (prefer the diagonal row if
+                # free) and install a tiny pivot.
+                if ipiv < 0:
+                    if pinv[k] < 0:
+                        ipiv = k
+                    else:
+                        free = np.flatnonzero(pinv < 0)
+                        ipiv = int(free[0])
+                    # ensure ipiv is in the pattern for the stores below
+                    if ws.mark[ipiv] != ws.stamp:
+                        ws.mark[ipiv] = ws.stamp
+                        top -= 1
+                        xi[top] = ipiv
+                        x[ipiv] = 0.0
+                x[ipiv] = static_perturb if x[ipiv] == 0.0 else x[ipiv]
+            else:
+                raise SingularMatrixError(
+                    f"no usable pivot in column {k} (structurally or numerically singular)",
+                    column=k,
+                )
+        pivval = x[ipiv]
+        pinv[ipiv] = k
+
+        # Store U column k (rows already pivotal, in pivot numbering).
+        ucount = 1
+        for t in range(top, n):
+            i = int(xi[t])
+            if pinv[i] >= 0 and i != ipiv:
+                ucount += 1
+        Ui = _grow(Ui, unz + ucount)
+        Ux = _grow(Ux, unz + ucount)
+        for t in range(top, n):
+            i = int(xi[t])
+            pi = int(pinv[i])
+            if pi >= 0 and i != ipiv:
+                Ui[unz] = pi
+                Ux[unz] = x[i]
+                unz += 1
+        Ui[unz] = k
+        Ux[unz] = pivval
+        unz += 1
+        Up[k + 1] = unz
+
+        # Store L column k (non-pivotal rows, original numbering),
+        # pivot first with value 1.
+        lcount = 1
+        for t in range(top, n):
+            i = int(xi[t])
+            if pinv[i] < 0:
+                lcount += 1
+        Li = _grow(Li, lnz + lcount)
+        Lx = _grow(Lx, lnz + lcount)
+        Li[lnz] = ipiv
+        Lx[lnz] = 1.0
+        lnz += 1
+        for t in range(top, n):
+            i = int(xi[t])
+            if pinv[i] < 0:
+                Li[lnz] = i
+                Lx[lnz] = x[i] / pivval
+                lnz += 1
+                led.sparse_flops += 1
+        Lp[k + 1] = lnz
+        led.mem_words += lcount + ucount
+
+    # Any rows never chosen (possible only with static perturbation on
+    # a singular matrix) get the remaining pivot slots.
+    free_rows = np.flatnonzero(pinv < 0)
+    if free_rows.size:
+        free_cols = np.setdiff1d(np.arange(n), pinv[pinv >= 0])
+        pinv[free_rows] = free_cols
+
+    # Renumber L's rows into pivot order and sort both factors.
+    Lfinal = CSC(n, n, Lp, pinv[Li[:lnz]], Lx[:lnz].copy()).sort_indices()
+    Ufinal = CSC(n, n, Up, Ui[:unz].copy(), Ux[:unz].copy()).sort_indices()
+    row_perm = np.empty(n, dtype=np.int64)
+    row_perm[pinv] = np.arange(n, dtype=np.int64)
+    return GPResult(Lfinal, Ufinal, row_perm, led)

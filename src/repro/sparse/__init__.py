@@ -1,0 +1,37 @@
+"""Sparse-matrix substrate: CSC storage, kernels, 2-D blocks, I/O."""
+
+from .blocks import BlockMatrix
+from .build import block_diag, diags, hstack, kron, random_like, vstack
+from .csc import CSC
+from .io import read_matrix_market, write_matrix_market
+from .ops import lower_solve, matmat, upper_solve
+from .serialize import load_csc, load_factors, save_csc, save_factors
+from .stats import MatrixStats, degree_stats, matrix_stats, structural_symmetry
+from .verify import factorization_residual, relative_error, solve_residual
+
+__all__ = [
+    "CSC",
+    "BlockMatrix",
+    "lower_solve",
+    "upper_solve",
+    "matmat",
+    "read_matrix_market",
+    "write_matrix_market",
+    "factorization_residual",
+    "solve_residual",
+    "relative_error",
+    "matrix_stats",
+    "MatrixStats",
+    "structural_symmetry",
+    "degree_stats",
+    "save_csc",
+    "load_csc",
+    "save_factors",
+    "load_factors",
+    "hstack",
+    "vstack",
+    "block_diag",
+    "kron",
+    "diags",
+    "random_like",
+]

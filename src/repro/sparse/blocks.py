@@ -1,0 +1,132 @@
+"""Two-dimensional block views of sparse matrices.
+
+Basker's central data-layout idea (paper §IV) is a *hierarchy of 2-D
+sparse blocks*: after the BTF and ND reorderings, the matrix is a grid of
+contiguous index ranges, each stored as its own CSC matrix.  This module
+provides the partitioned container plus split/assemble round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .csc import CSC
+
+__all__ = ["BlockMatrix"]
+
+
+class BlockMatrix:
+    """A sparse matrix partitioned into a grid of CSC blocks.
+
+    ``row_splits`` / ``col_splits`` are monotone offset arrays of length
+    ``nblocks + 1`` (like ``indptr`` for the block grid).  Blocks are
+    stored sparsely: an absent (i, j) entry is an all-zero block.
+    """
+
+    def __init__(self, row_splits: np.ndarray, col_splits: np.ndarray) -> None:
+        self.row_splits = np.asarray(row_splits, dtype=np.int64)
+        self.col_splits = np.asarray(col_splits, dtype=np.int64)
+        if self.row_splits[0] != 0 or self.col_splits[0] != 0:
+            raise ValueError("splits must start at 0")
+        if np.any(np.diff(self.row_splits) < 0) or np.any(np.diff(self.col_splits) < 0):
+            raise ValueError("splits must be nondecreasing")
+        self.blocks: Dict[Tuple[int, int], CSC] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_block_rows(self) -> int:
+        return len(self.row_splits) - 1
+
+    @property
+    def n_block_cols(self) -> int:
+        return len(self.col_splits) - 1
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (int(self.row_splits[-1]), int(self.col_splits[-1]))
+
+    def block_shape(self, i: int, j: int) -> Tuple[int, int]:
+        return (
+            int(self.row_splits[i + 1] - self.row_splits[i]),
+            int(self.col_splits[j + 1] - self.col_splits[j]),
+        )
+
+    def get(self, i: int, j: int) -> CSC:
+        """Block (i, j); an empty CSC of the right shape if unset."""
+        blk = self.blocks.get((i, j))
+        if blk is None:
+            r, c = self.block_shape(i, j)
+            return CSC.empty(r, c)
+        return blk
+
+    def set(self, i: int, j: int, blk: CSC) -> None:
+        if blk.shape != self.block_shape(i, j):
+            raise ValueError(
+                f"block ({i},{j}) must have shape {self.block_shape(i, j)}, got {blk.shape}"
+            )
+        self.blocks[(i, j)] = blk
+
+    def has(self, i: int, j: int) -> bool:
+        return (i, j) in self.blocks and self.blocks[(i, j)].nnz > 0
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, A: CSC, row_splits: np.ndarray, col_splits: np.ndarray) -> "BlockMatrix":
+        """Partition a CSC matrix along contiguous index ranges.
+
+        Blocks that come out structurally empty are not stored.
+        """
+        bm = cls(row_splits, col_splits)
+        if A.shape != bm.shape:
+            raise ValueError(f"matrix shape {A.shape} != splits shape {bm.shape}")
+        for bi in range(bm.n_block_rows):
+            r0, r1 = int(row_splits[bi]), int(row_splits[bi + 1])
+            for bj in range(bm.n_block_cols):
+                c0, c1 = int(col_splits[bj]), int(col_splits[bj + 1])
+                blk = A.submatrix(r0, r1, c0, c1)
+                if blk.nnz > 0:
+                    bm.blocks[(bi, bj)] = blk
+        return bm
+
+    def assemble(self) -> CSC:
+        """Reassemble the full CSC matrix from the blocks."""
+        rows, cols, vals = [], [], []
+        for (bi, bj), blk in self.blocks.items():
+            if blk.nnz == 0:
+                continue
+            r_off = int(self.row_splits[bi])
+            c_off = int(self.col_splits[bj])
+            col_of = np.repeat(np.arange(blk.n_cols), np.diff(blk.indptr))
+            rows.append(blk.indices + r_off)
+            cols.append(col_of + c_off)
+            vals.append(blk.data)
+        if not rows:
+            return CSC.empty(*self.shape)
+        return CSC.from_coo(
+            np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+            self.shape, sum_duplicates=False,
+        )
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x computed blockwise (exercises the 2-D layout)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError("dimension mismatch")
+        y = np.zeros(self.shape[0], dtype=np.float64)
+        for (bi, bj), blk in self.blocks.items():
+            c0, c1 = int(self.col_splits[bj]), int(self.col_splits[bj + 1])
+            r0 = int(self.row_splits[bi])
+            y[r0 : r0 + blk.n_rows] += blk.matvec(x[c0:c1])
+        return y
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockMatrix(grid={self.n_block_rows}x{self.n_block_cols}, "
+            f"shape={self.shape}, stored_blocks={len(self.blocks)}, nnz={self.nnz})"
+        )

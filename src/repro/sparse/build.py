@@ -1,0 +1,126 @@
+"""Structured construction utilities for CSC matrices.
+
+Block stacking, Kronecker products and diagonal embedding — the
+building blocks the matrix generators compose (a 2-D grid operator is
+``kron(I, T) + kron(T, I)``, a BTF composite is a block-diagonal stack
+plus coupling, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .csc import CSC
+
+__all__ = ["hstack", "vstack", "block_diag", "kron", "diags", "random_like"]
+
+
+def _coo_of(A: CSC):
+    col_of = np.repeat(np.arange(A.n_cols), np.diff(A.indptr))
+    return A.indices, col_of, A.data
+
+
+def hstack(mats: Sequence[CSC]) -> CSC:
+    """Concatenate matrices horizontally (same row count)."""
+    if not mats:
+        raise ValueError("need at least one matrix")
+    n_rows = mats[0].n_rows
+    if any(m.n_rows != n_rows for m in mats):
+        raise ValueError("row counts differ")
+    indptr = [np.zeros(1, dtype=np.int64)]
+    indices, data = [], []
+    offset = 0
+    for m in mats:
+        indptr.append(m.indptr[1:] + offset)
+        offset += m.nnz
+        indices.append(m.indices)
+        data.append(m.data)
+    return CSC(
+        n_rows,
+        sum(m.n_cols for m in mats),
+        np.concatenate(indptr),
+        np.concatenate(indices) if indices else np.empty(0, dtype=np.int64),
+        np.concatenate(data) if data else np.empty(0, dtype=np.float64),
+    )
+
+
+def vstack(mats: Sequence[CSC]) -> CSC:
+    """Concatenate matrices vertically (same column count)."""
+    if not mats:
+        raise ValueError("need at least one matrix")
+    n_cols = mats[0].n_cols
+    if any(m.n_cols != n_cols for m in mats):
+        raise ValueError("column counts differ")
+    rows, cols, vals = [], [], []
+    offset = 0
+    for m in mats:
+        r, c, v = _coo_of(m)
+        rows.append(r + offset)
+        cols.append(c)
+        vals.append(v)
+        offset += m.n_rows
+    return CSC.from_coo(
+        np.concatenate(rows) if rows else np.empty(0, dtype=np.int64),
+        np.concatenate(cols) if cols else np.empty(0, dtype=np.int64),
+        np.concatenate(vals) if vals else np.empty(0, dtype=np.float64),
+        (offset, n_cols),
+        sum_duplicates=False,
+    )
+
+
+def block_diag(mats: Sequence[CSC]) -> CSC:
+    """Direct sum: matrices along the diagonal, zeros elsewhere."""
+    rows, cols, vals = [], [], []
+    r_off = c_off = 0
+    for m in mats:
+        r, c, v = _coo_of(m)
+        rows.append(r + r_off)
+        cols.append(c + c_off)
+        vals.append(v)
+        r_off += m.n_rows
+        c_off += m.n_cols
+    if not rows:
+        return CSC.empty(0, 0)
+    return CSC.from_coo(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+        (r_off, c_off), sum_duplicates=False,
+    )
+
+
+def kron(A: CSC, B: CSC) -> CSC:
+    """Kronecker product ``A (x) B``."""
+    ra, ca, va = _coo_of(A)
+    rb, cb, vb = _coo_of(B)
+    if A.nnz == 0 or B.nnz == 0:
+        return CSC.empty(A.n_rows * B.n_rows, A.n_cols * B.n_cols)
+    rows = (ra[:, None] * B.n_rows + rb[None, :]).ravel()
+    cols = (ca[:, None] * B.n_cols + cb[None, :]).ravel()
+    vals = (va[:, None] * vb[None, :]).ravel()
+    return CSC.from_coo(rows, cols, vals,
+                        (A.n_rows * B.n_rows, A.n_cols * B.n_cols),
+                        sum_duplicates=False)
+
+
+def diags(values: np.ndarray, offset: int = 0, shape: tuple | None = None) -> CSC:
+    """A (possibly offset) diagonal matrix from a vector."""
+    values = np.asarray(values, dtype=np.float64)
+    k = values.size
+    if shape is None:
+        n = k + abs(offset)
+        shape = (n, n)
+    if offset >= 0:
+        rows = np.arange(k)
+        cols = rows + offset
+    else:
+        cols = np.arange(k)
+        rows = cols - offset
+    keep = (rows < shape[0]) & (cols < shape[1])
+    return CSC.from_coo(rows[keep], cols[keep], values[keep], shape)
+
+
+def random_like(A: CSC, rng: np.random.Generator, scale: float = 1.0) -> CSC:
+    """Same pattern as A, fresh random values (refactorization tests)."""
+    return CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
+               scale * rng.standard_normal(A.nnz))

@@ -1,0 +1,102 @@
+"""Matrix-Market I/O.
+
+The paper's test suite comes from the UF (SuiteSparse) collection, which
+distributes Matrix-Market files.  This reader/writer lets externally
+obtained matrices be dropped straight into the benches; the offline
+reproduction itself uses the synthetic generators in
+:mod:`repro.matrices`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from .csc import CSC
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open(path_or_file: Union[str, Path, TextIO], mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_matrix_market(path_or_file: Union[str, Path, TextIO]) -> CSC:
+    """Read a Matrix-Market coordinate file into a CSC matrix.
+
+    Supports real/integer/pattern fields and general/symmetric/
+    skew-symmetric symmetry (symmetric halves are mirrored).
+    """
+    f, should_close = _open(path_or_file, "r")
+    try:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a MatrixMarket file")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise ValueError(f"malformed header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValueError("only coordinate matrices are supported")
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field == "complex":
+            raise ValueError("complex matrices are not supported")
+
+        line = f.readline()
+        while line.startswith("%") or not line.strip():
+            line = f.readline()
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        k = 0
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            vals[k] = 1.0 if field == "pattern" else float(toks[2])
+            k += 1
+        if k != nnz:
+            raise ValueError(f"expected {nnz} entries, found {k}")
+
+        if symmetry in ("symmetric", "skew-symmetric"):
+            off = rows != cols
+            sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, rows[: nnz][off]])
+            vals = np.concatenate([vals, sign * vals[off]])
+        elif symmetry != "general":
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        return CSC.from_coo(rows, cols, vals, (n_rows, n_cols), sum_duplicates=False)
+    finally:
+        if should_close:
+            f.close()
+
+
+def write_matrix_market(A: CSC, path_or_file: Union[str, Path, TextIO], comment: str = "") -> None:
+    """Write a CSC matrix as a real general coordinate Matrix-Market file."""
+    f, should_close = _open(path_or_file, "w")
+    try:
+        f.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{A.n_rows} {A.n_cols} {A.nnz}\n")
+        buf = io.StringIO()
+        for j in range(A.n_cols):
+            rows, vals = A.col(j)
+            for t in range(rows.size):
+                buf.write(f"{int(rows[t]) + 1} {j + 1} {vals[t]:.17g}\n")
+        f.write(buf.getvalue())
+    finally:
+        if should_close:
+            f.close()

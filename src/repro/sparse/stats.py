@@ -1,0 +1,109 @@
+"""Structural statistics of sparse matrices.
+
+The quantities the paper's Table I and the surrounding discussion rely
+on: structural symmetry (supernodal solvers symmetrize, so it predicts
+their overhead), degree distributions (semi-dense rows/columns), BTF
+coverage, and fill-in density.  Used by the CLI, the suite report and
+the generators' own tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .csc import CSC
+
+__all__ = ["MatrixStats", "matrix_stats", "structural_symmetry", "degree_stats"]
+
+
+def structural_symmetry(A: CSC) -> float:
+    """Fraction of off-diagonal entries whose transpose is also present."""
+    if A.n_rows != A.n_cols:
+        raise ValueError("symmetry is defined for square matrices")
+    col_of = np.repeat(np.arange(A.n_cols), np.diff(A.indptr))
+    off = A.indices != col_of
+    n_off = int(off.sum())
+    if n_off == 0:
+        return 1.0
+    present = set(zip(A.indices[off].tolist(), col_of[off].tolist()))
+    matched = sum(1 for (i, j) in present if (j, i) in present)
+    return matched / len(present)
+
+
+def degree_stats(A: CSC) -> dict:
+    """Row/column degree summary, including semi-dense outliers."""
+    n = A.n_rows
+    col_deg = np.diff(A.indptr)
+    row_deg = np.zeros(n, dtype=np.int64)
+    np.add.at(row_deg, A.indices, 1)
+    dense_cut = max(16, int(0.1 * n))
+    return dict(
+        max_row_degree=int(row_deg.max(initial=0)),
+        max_col_degree=int(col_deg.max(initial=0)),
+        mean_degree=float(A.nnz / max(n, 1)),
+        semi_dense_rows=int((row_deg > dense_cut).sum()),
+        semi_dense_cols=int((col_deg > dense_cut).sum()),
+    )
+
+
+@dataclass
+class MatrixStats:
+    n: int
+    nnz: int
+    structural_symmetry: float
+    mean_degree: float
+    max_row_degree: int
+    max_col_degree: int
+    semi_dense_rows: int
+    semi_dense_cols: int
+    btf_blocks: Optional[int] = None
+    btf_percent: Optional[float] = None
+    largest_block: Optional[int] = None
+    fill_density: Optional[float] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"n = {self.n}, nnz = {self.nnz} ({self.mean_degree:.2f}/row)",
+            f"structural symmetry = {self.structural_symmetry:.3f}",
+            f"max degrees: row {self.max_row_degree}, col {self.max_col_degree} "
+            f"(semi-dense: {self.semi_dense_rows} rows, {self.semi_dense_cols} cols)",
+        ]
+        if self.btf_blocks is not None:
+            lines.append(
+                f"BTF: {self.btf_blocks} blocks, largest {self.largest_block}, "
+                f"{self.btf_percent:.1f}% rows in small blocks"
+            )
+        if self.fill_density is not None:
+            lines.append(f"KLU fill density = {self.fill_density:.2f}")
+        return "\n".join(lines)
+
+
+def matrix_stats(A: CSC, with_btf: bool = False, with_fill: bool = False) -> MatrixStats:
+    """Compute the statistics bundle (optionally BTF / KLU-fill, which
+    cost a decomposition / a factorization)."""
+    deg = degree_stats(A)
+    stats = MatrixStats(
+        n=A.n_rows,
+        nnz=A.nnz,
+        structural_symmetry=structural_symmetry(A),
+        mean_degree=deg["mean_degree"],
+        max_row_degree=deg["max_row_degree"],
+        max_col_degree=deg["max_col_degree"],
+        semi_dense_rows=deg["semi_dense_rows"],
+        semi_dense_cols=deg["semi_dense_cols"],
+    )
+    if with_btf:
+        from ..ordering.btf import btf
+
+        res = btf(A)
+        stats.btf_blocks = res.n_blocks
+        stats.btf_percent = res.btf_percent(96)
+        stats.largest_block = res.largest_block
+    if with_fill:
+        from ..solvers.klu import KLU
+
+        stats.fill_density = KLU().factor(A).factor_nnz / max(A.nnz, 1)
+    return stats

@@ -1,0 +1,55 @@
+"""Numeric verification helpers.
+
+Every factorization in this package is checked against these residuals
+in the test suite; the benches also spot-check them so that a "fast"
+configuration can never silently be a wrong one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csc import CSC
+from .ops import matmat
+
+__all__ = ["factorization_residual", "solve_residual", "relative_error"]
+
+
+def factorization_residual(
+    A: CSC,
+    L: CSC,
+    U: CSC,
+    row_perm: np.ndarray | None = None,
+    col_perm: np.ndarray | None = None,
+) -> float:
+    """``||P A Q - L U||_F / max(||A||_F, eps)``.
+
+    ``row_perm`` / ``col_perm`` follow the fancy-index convention of
+    :meth:`CSC.permute`: the factorization claims
+    ``A[row_perm][:, col_perm] == L @ U``.
+    """
+    PAQ = A.permute(row_perm, col_perm)
+    LU = matmat(L, U)
+    diff = PAQ.add(LU.scale(-1.0))
+    denom = max(A.fro_norm(), np.finfo(np.float64).eps)
+    return diff.fro_norm() / denom
+
+
+def solve_residual(A: CSC, x: np.ndarray, b: np.ndarray) -> float:
+    """``||A x - b||_inf / (||A||_1 ||x||_inf + ||b||_inf)`` (scaled residual)."""
+    r = A.matvec(x) - b
+    denom = A.one_norm() * float(np.max(np.abs(x), initial=0.0)) + float(
+        np.max(np.abs(b), initial=0.0)
+    )
+    if denom == 0.0:
+        return float(np.max(np.abs(r), initial=0.0))
+    return float(np.max(np.abs(r), initial=0.0)) / denom
+
+
+def relative_error(x: np.ndarray, x_ref: np.ndarray) -> float:
+    """``||x - x_ref||_inf / ||x_ref||_inf`` (0/0 -> 0)."""
+    num = float(np.max(np.abs(x - x_ref), initial=0.0))
+    den = float(np.max(np.abs(x_ref), initial=0.0))
+    if den == 0.0:
+        return num
+    return num / den

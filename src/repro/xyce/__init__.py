@@ -1,0 +1,56 @@
+"""Mini transistor-level circuit simulator (the Xyce substrate)."""
+
+from .circuits import diode_clipper_bank, rc_ladder, xyce1_analog
+from .devices import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    Diode,
+    Inductor,
+    ISource,
+    MOSFET,
+    Resistor,
+    VCCS,
+    VCVS,
+    VSource,
+    pulse,
+    pwl,
+)
+from .netlist import Circuit
+from .parser import NetlistError, ParsedDeck, parse_netlist, parse_value
+from .transient import (
+    TransientResult,
+    dc_operating_point,
+    matrix_sequence,
+    run_transient,
+    run_transient_adaptive,
+)
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "VSource",
+    "Inductor",
+    "pulse",
+    "pwl",
+    "dc_operating_point",
+    "ISource",
+    "Diode",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "MOSFET",
+    "parse_netlist",
+    "parse_value",
+    "ParsedDeck",
+    "NetlistError",
+    "run_transient",
+    "run_transient_adaptive",
+    "matrix_sequence",
+    "TransientResult",
+    "rc_ladder",
+    "diode_clipper_bank",
+    "xyce1_analog",
+]

@@ -1,0 +1,104 @@
+"""Prebuilt circuits for the transient experiments.
+
+``xyce1_analog`` plays the role of the circuit behind the paper's
+Xyce1 matrix sequence (§V-F): a transistor-level network whose
+Jacobians defeat preconditioned iterative methods and whose transient
+was bottlenecked by serial KLU.  The analog is a bank of nonlinear
+diode/RC subcircuits driven through one-way VCCS couplings from a
+meshed linear core — big enough to have one large irreducible block
+plus fine BTF structure, nonlinear enough that every Newton matrix has
+genuinely different values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .devices import Capacitor, Diode, ISource, Resistor, VCCS, VSource
+from .netlist import Circuit
+
+__all__ = ["rc_ladder", "diode_clipper_bank", "xyce1_analog"]
+
+
+def rc_ladder(n_stages: int, r: float = 1e3, c: float = 1e-6, vamp: float = 5.0) -> Circuit:
+    """Classic RC transmission-line ladder driven by a sine source."""
+    ckt = Circuit(n_nodes=n_stages + 1)
+    ckt.add(VSource(1, 0, lambda t: vamp * np.sin(2e3 * np.pi * t)))
+    for k in range(1, n_stages + 1):
+        ckt.add(Resistor(k, k + 1, r * (1 + 0.1 * (k % 5))))
+        ckt.add(Capacitor(k + 1, 0, c * (1 + 0.05 * (k % 7))))
+    return ckt
+
+
+def diode_clipper_bank(n_clippers: int, rng: np.random.Generator | None = None) -> Circuit:
+    """Independent diode clipper stages: strong fine-BTF structure."""
+    rng = rng or np.random.default_rng(0)
+    # Nodes per clipper: in, mid, out (3), all referenced to ground.
+    n_nodes = 3 * n_clippers
+    ckt = Circuit(n_nodes=n_nodes)
+    for k in range(n_clippers):
+        a, b, c = 3 * k + 1, 3 * k + 2, 3 * k + 3
+        phase = float(rng.uniform(0, 2 * np.pi))
+        amp = float(rng.uniform(2e-3, 6e-3))  # mA-scale drive
+        ckt.add(ISource(0, a, lambda t, amp=amp, ph=phase: amp * np.sin(4e3 * np.pi * t + ph)))
+        ckt.add(Resistor(a, b, float(rng.uniform(500, 2000))))
+        ckt.add(Diode(b, 0))
+        ckt.add(Diode(0, b))
+        ckt.add(Resistor(b, c, float(rng.uniform(500, 2000))))
+        ckt.add(Capacitor(c, 0, float(rng.uniform(0.5e-6, 2e-6))))
+        ckt.add(Resistor(c, 0, 1e4))
+    return ckt
+
+
+def xyce1_analog(
+    n_core: int = 400,
+    n_subckts: int = 120,
+    rng: np.random.Generator | None = None,
+) -> Circuit:
+    """The §V-F sequence circuit: meshed core + driven nonlinear banks.
+
+    * core: nodes 1..n_core, a resistive small-world mesh with
+      capacitive loading and a few drive sources — one big irreducible
+      Jacobian block;
+    * subcircuits: 3-node diode clippers, each *driven from* the core
+      through a VCCS (one-way coupling: the subcircuits see the core,
+      the core never sees them) — fine BTF blocks.
+    """
+    rng = rng or np.random.default_rng(7)
+    n_nodes = n_core + 3 * n_subckts
+    ckt = Circuit(n_nodes=n_nodes)
+
+    # Core mesh: ring + random chords + loading.
+    ckt.add(VSource(1, 0, lambda t: 5.0 * np.sin(2e3 * np.pi * t)))
+    ckt.add(VSource(2, 0, lambda t: 3.3))
+    for k in range(1, n_core):
+        ckt.add(Resistor(k, k + 1, float(rng.uniform(100, 1000))))
+    for _ in range(n_core):
+        a = int(rng.integers(1, n_core + 1))
+        # Local chords only: interconnect parasitics couple nearby
+        # nodes, which is also what keeps ND separators small.
+        b = a + int(rng.integers(-15, 16))
+        if 1 <= b <= n_core and a != b:
+            ckt.add(Resistor(a, b, float(rng.uniform(500, 5000))))
+    for k in range(1, n_core + 1):
+        if k % 3 == 0:
+            ckt.add(Capacitor(k, 0, float(rng.uniform(0.1e-6, 1e-6))))
+        if k % 11 == 0:
+            ckt.add(Diode(k, 0, i_s=1e-13))
+        ckt.add(Resistor(k, 0, 1e5))
+
+    # Driven nonlinear subcircuits.
+    for s in range(n_subckts):
+        a = n_core + 3 * s + 1
+        b = a + 1
+        c = a + 2
+        ctrl = int(rng.integers(1, n_core + 1))
+        ckt.add(VCCS(0, a, ctrl, 0, gm=float(rng.uniform(1e-4, 1e-3))))
+        ckt.add(Resistor(a, b, float(rng.uniform(500, 2000))))
+        ckt.add(Diode(b, 0))
+        ckt.add(Diode(0, b))
+        ckt.add(Resistor(b, c, float(rng.uniform(500, 2000))))
+        ckt.add(Capacitor(c, 0, float(rng.uniform(0.5e-6, 2e-6))))
+        ckt.add(Resistor(c, 0, 1e4))
+        ckt.add(Resistor(a, 0, 2e3))
+    return ckt

@@ -1,0 +1,525 @@
+"""Device models for the mini transistor-level circuit simulator.
+
+Xyce performs SPICE-style modified nodal analysis (MNA): every device
+*stamps* conductances into the Jacobian and currents into the residual.
+The reproduction implements the devices needed to generate realistic
+matrix sequences: linear R/C, independent sources, an exponential diode
+(the nonlinearity that makes every Newton iteration produce a new
+matrix), and a voltage-controlled current source (the classic source of
+structural *unsymmetry* and one-way coupling in circuit Jacobians).
+
+Node 0 is ground and is eliminated from the system.  Voltage sources
+add a branch-current unknown (standard MNA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VSource",
+    "ISource",
+    "Diode",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "MOSFET",
+    "Device",
+    "pulse",
+    "pwl",
+]
+
+
+def pulse(v0: float, v1: float, delay: float, rise: float, fall: float,
+          width: float, period: float) -> Callable[[float], float]:
+    """SPICE PULSE waveform factory."""
+
+    def wave(t: float) -> float:
+        if t < delay:
+            return v0
+        tm = (t - delay) % period
+        if tm < rise:
+            return v0 + (v1 - v0) * tm / max(rise, 1e-30)
+        if tm < rise + width:
+            return v1
+        if tm < rise + width + fall:
+            return v1 + (v0 - v1) * (tm - rise - width) / max(fall, 1e-30)
+        return v0
+
+    return wave
+
+
+def pwl(points: List[Tuple[float, float]]) -> Callable[[float], float]:
+    """SPICE piecewise-linear waveform factory."""
+    if not points:
+        raise ValueError("pwl needs at least one (t, v) point")
+    ts = [p[0] for p in points]
+    if any(b <= a for a, b in zip(ts, ts[1:])):
+        raise ValueError("pwl times must be strictly increasing")
+
+    def wave(t: float) -> float:
+        if t <= points[0][0]:
+            return points[0][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t <= t1:
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return points[-1][1]
+
+    return wave
+
+
+class Device:
+    """Base class; subclasses implement the stamp methods.
+
+    ``stamp_static`` contributes the operating-point-independent
+    Jacobian entries; ``stamp_dynamic`` contributes capacitive terms
+    scaled by ``1/dt``; ``stamp_nonlinear`` linearizes around ``x``.
+    All stamps append COO triplets (pattern identical across calls — the
+    precondition for symbolic reuse).
+    """
+
+    def unknowns(self) -> int:
+        """Extra (branch-current) unknowns this device introduces."""
+        return 0
+
+    def stamp_static(self, J, rhs_fn) -> None:  # pragma: no cover - interface
+        pass
+
+    def stamp_dynamic(self, J, inv_dt: float) -> None:
+        pass
+
+    def stamp_nonlinear(self, J, x: np.ndarray, F: np.ndarray) -> None:
+        pass
+
+    def residual_static(self, x: np.ndarray, F: np.ndarray, t: float) -> None:
+        pass
+
+    def residual_dynamic(self, x: np.ndarray, x_prev: np.ndarray, inv_dt: float, F: np.ndarray) -> None:
+        pass
+
+    def residual_dynamic_trap(self, x, x_prev, inv2dt: float, F, state: dict) -> None:
+        """Trapezoidal-rule dynamic residual (Xyce's default
+        integrator).  ``inv2dt = 2/dt``; ``state`` holds per-device
+        history (e.g. the capacitor current of the previous step)."""
+
+    def update_dynamic_state(self, x, x_prev, inv2dt: float, state: dict) -> None:
+        """Commit per-device integrator history after an accepted
+        trapezoidal step."""
+
+    def seed_state_be(self, x, x_prev, inv_dt: float, state: dict) -> None:
+        """Initialize integrator history from a backward-Euler step
+        (the standard trapezoidal startup)."""
+
+
+class _Stamper:
+    """COO accumulator with ground elimination (node 0 dropped)."""
+
+    def __init__(self) -> None:
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+
+    def add(self, i: int, j: int, v: float) -> None:
+        if i > 0 and j > 0:
+            self.rows.append(i - 1)
+            self.cols.append(j - 1)
+            self.vals.append(v)
+
+
+@dataclass
+class Resistor(Device):
+    a: int
+    b: int
+    r: float
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        g = 1.0 / self.r
+        J.add(self.a, self.a, g)
+        J.add(self.b, self.b, g)
+        J.add(self.a, self.b, -g)
+        J.add(self.b, self.a, -g)
+
+    def residual_static(self, x, F, t):
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        i = (va - vb) / self.r
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+
+@dataclass
+class Capacitor(Device):
+    a: int
+    b: int
+    c: float
+
+    def stamp_dynamic(self, J: _Stamper, inv_dt: float) -> None:
+        g = self.c * inv_dt
+        J.add(self.a, self.a, g)
+        J.add(self.b, self.b, g)
+        J.add(self.a, self.b, -g)
+        J.add(self.b, self.a, -g)
+
+    def residual_dynamic(self, x, x_prev, inv_dt, F):
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        pa = x_prev[self.a - 1] if self.a else 0.0
+        pb = x_prev[self.b - 1] if self.b else 0.0
+        i = self.c * inv_dt * ((va - vb) - (pa - pb))
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+    def _trap_current(self, x, x_prev, inv2dt, state):
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        pa = x_prev[self.a - 1] if self.a else 0.0
+        pb = x_prev[self.b - 1] if self.b else 0.0
+        i_prev = state.get(id(self), 0.0)
+        # (i + i_prev)/2 = C dv/dt  =>  i = (2C/dt)(v - v_prev) - i_prev
+        return self.c * inv2dt * ((va - vb) - (pa - pb)) - i_prev
+
+    def residual_dynamic_trap(self, x, x_prev, inv2dt, F, state):
+        i = self._trap_current(x, x_prev, inv2dt, state)
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+    def update_dynamic_state(self, x, x_prev, inv2dt, state):
+        state[id(self)] = self._trap_current(x, x_prev, inv2dt, state)
+
+    def seed_state_be(self, x, x_prev, inv_dt, state):
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        pa = x_prev[self.a - 1] if self.a else 0.0
+        pb = x_prev[self.b - 1] if self.b else 0.0
+        state[id(self)] = self.c * inv_dt * ((va - vb) - (pa - pb))
+
+
+@dataclass
+class ISource(Device):
+    """Independent current source ``waveform(t)`` flowing a -> b."""
+
+    a: int
+    b: int
+    waveform: Callable[[float], float]
+
+    def residual_static(self, x, F, t):
+        i = self.waveform(t)
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+
+@dataclass
+class VSource(Device):
+    """Independent voltage source; adds one branch-current unknown."""
+
+    a: int
+    b: int
+    waveform: Callable[[float], float]
+    branch_index: int = -1  # assigned by the circuit (0-based unknown id)
+
+    def unknowns(self) -> int:
+        return 1
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        k = self.branch_index + 1  # stamper uses 1-based with ground 0
+        J.add(self.a, k, 1.0)
+        J.add(self.b, k, -1.0)
+        J.add(k, self.a, 1.0)
+        J.add(k, self.b, -1.0)
+
+    def residual_static(self, x, F, t):
+        ib = x[self.branch_index]
+        if self.a:
+            F[self.a - 1] += ib
+        if self.b:
+            F[self.b - 1] -= ib
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        F[self.branch_index] += (va - vb) - self.waveform(t)
+
+
+@dataclass
+class Inductor(Device):
+    """Inductor with a branch-current unknown (MNA group 2).
+
+    Backward Euler: ``v_a - v_b - (L/dt)(i - i_prev) = 0`` plus the KCL
+    contributions of the branch current.
+    """
+
+    a: int
+    b: int
+    l: float
+    branch_index: int = -1
+
+    def unknowns(self) -> int:
+        return 1
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        k = self.branch_index + 1
+        J.add(self.a, k, 1.0)
+        J.add(self.b, k, -1.0)
+        J.add(k, self.a, 1.0)
+        J.add(k, self.b, -1.0)
+
+    def stamp_dynamic(self, J: _Stamper, inv_dt: float) -> None:
+        k = self.branch_index + 1
+        J.add(k, k, -self.l * inv_dt)
+
+    def residual_static(self, x, F, t):
+        ib = x[self.branch_index]
+        if self.a:
+            F[self.a - 1] += ib
+        if self.b:
+            F[self.b - 1] -= ib
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        F[self.branch_index] += va - vb
+
+    def residual_dynamic(self, x, x_prev, inv_dt, F):
+        di = x[self.branch_index] - x_prev[self.branch_index]
+        F[self.branch_index] -= self.l * inv_dt * di
+
+    def residual_dynamic_trap(self, x, x_prev, inv2dt, F, state):
+        # (v + v_prev)/2 = L di/dt; the static residual supplies v, so
+        # add v_prev and the 2L/dt history term here.
+        pa = x_prev[self.a - 1] if self.a else 0.0
+        pb = x_prev[self.b - 1] if self.b else 0.0
+        di = x[self.branch_index] - x_prev[self.branch_index]
+        F[self.branch_index] += (pa - pb) - self.l * inv2dt * di
+
+
+@dataclass
+class Diode(Device):
+    """Exponential diode with junction-voltage limiting."""
+
+    a: int
+    b: int
+    i_s: float = 1e-12
+    vt: float = 0.02585
+    emission: float = 1.5
+    gmin: float = 1e-12
+
+    def _iv(self, v: float) -> Tuple[float, float]:
+        nvt = self.emission * self.vt
+        vlim = min(v, 40.0 * nvt)  # exponent limiting
+        e = np.exp(vlim / nvt)
+        i = self.i_s * (e - 1.0) + self.gmin * v
+        g = self.i_s * e / nvt + self.gmin
+        return float(i), float(g)
+
+    def stamp_nonlinear(self, J: _Stamper, x: np.ndarray, F: np.ndarray) -> None:
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        i, g = self._iv(va - vb)
+        J.add(self.a, self.a, g)
+        J.add(self.b, self.b, g)
+        J.add(self.a, self.b, -g)
+        J.add(self.b, self.a, -g)
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+
+@dataclass
+class VCCS(Device):
+    """Voltage-controlled current source: ``gm * (V_c - V_d)`` from a to b.
+
+    The control nodes appear in the row of the output nodes but not
+    vice versa — a structurally unsymmetric, one-way coupling (this is
+    what produces BTF structure in real circuit Jacobians).
+    """
+
+    a: int
+    b: int
+    c: int
+    d: int
+    gm: float
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        J.add(self.a, self.c, self.gm)
+        J.add(self.a, self.d, -self.gm)
+        J.add(self.b, self.c, -self.gm)
+        J.add(self.b, self.d, self.gm)
+
+    def residual_static(self, x, F, t):
+        vc = x[self.c - 1] if self.c else 0.0
+        vd = x[self.d - 1] if self.d else 0.0
+        i = self.gm * (vc - vd)
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+
+@dataclass
+class VCVS(Device):
+    """Voltage-controlled voltage source (SPICE ``E``):
+    ``V(a) - V(b) = gain * (V(c) - V(d))``.  Adds a branch current."""
+
+    a: int
+    b: int
+    c: int
+    d: int
+    gain: float
+    branch_index: int = -1
+
+    def unknowns(self) -> int:
+        return 1
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        k = self.branch_index + 1
+        J.add(self.a, k, 1.0)
+        J.add(self.b, k, -1.0)
+        J.add(k, self.a, 1.0)
+        J.add(k, self.b, -1.0)
+        J.add(k, self.c, -self.gain)
+        J.add(k, self.d, self.gain)
+
+    def residual_static(self, x, F, t):
+        ib = x[self.branch_index]
+        if self.a:
+            F[self.a - 1] += ib
+        if self.b:
+            F[self.b - 1] -= ib
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        vc = x[self.c - 1] if self.c else 0.0
+        vd = x[self.d - 1] if self.d else 0.0
+        F[self.branch_index] += (va - vb) - self.gain * (vc - vd)
+
+
+@dataclass
+class CCCS(Device):
+    """Current-controlled current source (SPICE ``F``): the output
+    current is ``gain * i(ctrl)`` where ``ctrl`` is a branch device
+    (voltage source / inductor) carrying the sensed current."""
+
+    a: int
+    b: int
+    ctrl: "Device" = None
+    gain: float = 1.0
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        k = self.ctrl.branch_index + 1
+        J.add(self.a, k, self.gain)
+        J.add(self.b, k, -self.gain)
+
+    def residual_static(self, x, F, t):
+        i = self.gain * x[self.ctrl.branch_index]
+        if self.a:
+            F[self.a - 1] += i
+        if self.b:
+            F[self.b - 1] -= i
+
+
+@dataclass
+class CCVS(Device):
+    """Current-controlled voltage source (SPICE ``H``):
+    ``V(a) - V(b) = r * i(ctrl)``.  Adds its own branch current."""
+
+    a: int
+    b: int
+    ctrl: "Device" = None
+    r: float = 1.0
+    branch_index: int = -1
+
+    def unknowns(self) -> int:
+        return 1
+
+    def stamp_static(self, J: _Stamper, t: float = 0.0) -> None:
+        k = self.branch_index + 1
+        kc = self.ctrl.branch_index + 1
+        J.add(self.a, k, 1.0)
+        J.add(self.b, k, -1.0)
+        J.add(k, self.a, 1.0)
+        J.add(k, self.b, -1.0)
+        J.add(k, kc, -self.r)
+
+    def residual_static(self, x, F, t):
+        ib = x[self.branch_index]
+        if self.a:
+            F[self.a - 1] += ib
+        if self.b:
+            F[self.b - 1] -= ib
+        va = x[self.a - 1] if self.a else 0.0
+        vb = x[self.b - 1] if self.b else 0.0
+        F[self.branch_index] += (va - vb) - self.r * x[self.ctrl.branch_index]
+
+
+@dataclass
+class MOSFET(Device):
+    """Level-1 (square-law) NMOS: drain, gate, source (bulk tied to source).
+
+    Regions: cutoff (gmin leak), triode and saturation with channel-
+    length modulation.  Stamps the 2x3 Jacobian block (rows d, s;
+    columns d, g, s) — the classic source of structural unsymmetry in
+    transistor circuit matrices.
+    """
+
+    d: int
+    g: int
+    s: int
+    k: float = 2e-4          # transconductance parameter (A/V^2)
+    vt: float = 0.7          # threshold voltage
+    lam: float = 0.02        # channel-length modulation
+    gmin: float = 1e-12
+
+    def _ids(self, vgs: float, vds: float):
+        """Returns (ids, gm, gds) for vds >= 0 (symmetric swap outside)."""
+        if vgs <= self.vt:
+            return self.gmin * vds, 0.0, self.gmin
+        vov = vgs - self.vt
+        if vds < vov:  # triode
+            ids = self.k * (vov * vds - 0.5 * vds * vds)
+            gm = self.k * vds
+            gds = self.k * (vov - vds) + self.gmin
+        else:  # saturation
+            ids = 0.5 * self.k * vov * vov * (1.0 + self.lam * vds)
+            gm = self.k * vov * (1.0 + self.lam * vds)
+            gds = 0.5 * self.k * vov * vov * self.lam + self.gmin
+        return ids + self.gmin * vds, gm, gds
+
+    def stamp_nonlinear(self, J: _Stamper, x: np.ndarray, F: np.ndarray) -> None:
+        vd = x[self.d - 1] if self.d else 0.0
+        vg = x[self.g - 1] if self.g else 0.0
+        vs = x[self.s - 1] if self.s else 0.0
+        # Handle vds < 0 by swapping drain/source (symmetric device).
+        if vd >= vs:
+            dd, ss = self.d, self.s
+            ids, gm, gds = self._ids(vg - vs, vd - vs)
+            sign = 1.0
+        else:
+            dd, ss = self.s, self.d
+            ids, gm, gds = self._ids(vg - vd, vs - vd)
+            sign = -1.0
+        # Current flows dd -> ss inside the device (into dd terminal).
+        if self.d:
+            F[self.d - 1] += sign * ids
+        if self.s:
+            F[self.s - 1] -= sign * ids
+        # d ids / d v: rows dd (+) and ss (-), columns dd, g, ss.
+        J.add(dd, dd, gds)
+        J.add(dd, self.g, gm)
+        J.add(dd, ss, -(gds + gm))
+        J.add(ss, dd, -gds)
+        J.add(ss, self.g, -gm)
+        J.add(ss, ss, gds + gm)
+        # Note: the stamped position set {d,s} x {d,g,s} is identical
+        # under the drain/source swap, so the Jacobian pattern stays
+        # constant across Newton iterations and polarity changes.

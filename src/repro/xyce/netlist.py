@@ -1,0 +1,105 @@
+"""Circuit container and MNA assembly."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sparse.csc import CSC
+from .devices import Device, _Stamper
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """A flat netlist over nodes ``0..n_nodes`` (0 = ground).
+
+    Unknown ordering: node voltages ``v_1..v_n`` first, then one branch
+    current per voltage source.  The Jacobian pattern is fixed by the
+    netlist, which is what lets the solvers reuse one symbolic analysis
+    across an entire transient (paper §V-F).
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("need at least one non-ground node")
+        self.n_nodes = n_nodes
+        self.devices: List[Device] = []
+        self._n_branches = 0
+
+    def add(self, dev: Device) -> "Circuit":
+        if dev.unknowns():
+            # Branch-current unknowns (voltage sources, inductors) are
+            # appended after the node voltages.
+            dev.branch_index = self.n_nodes + self._n_branches
+            self._n_branches += dev.unknowns()
+        self.devices.append(dev)
+        return self
+
+    @property
+    def n_unknowns(self) -> int:
+        return self.n_nodes + self._n_branches
+
+    # ------------------------------------------------------------------
+    def assemble(
+        self,
+        x: np.ndarray,
+        x_prev: np.ndarray,
+        t: float,
+        dt: float,
+        method: str = "be",
+        state: dict | None = None,
+    ) -> Tuple[CSC, np.ndarray]:
+        """Newton system at state ``x`` for one integration step.
+
+        ``method`` selects backward Euler (``"be"``) or the trapezoidal
+        rule (``"trap"``, Xyce's default; needs the integrator ``state``
+        dict for device history).  Returns ``(J, F)`` with
+        ``J dx = -F``; J's pattern is identical for every call (same
+        devices stamp the same entries, both methods).
+        """
+        n = self.n_unknowns
+        if x.shape != (n,) or x_prev.shape != (n,):
+            raise ValueError("state vector has wrong length")
+        if method not in ("be", "trap"):
+            raise ValueError("method must be 'be' or 'trap'")
+        J = _Stamper()
+        F = np.zeros(n, dtype=np.float64)
+        if method == "be":
+            inv_dt = 1.0 / dt
+            for dev in self.devices:
+                dev.stamp_static(J, t)
+                dev.stamp_dynamic(J, inv_dt)
+                dev.stamp_nonlinear(J, x, F)
+                dev.residual_static(x, F, t)
+                dev.residual_dynamic(x, x_prev, inv_dt, F)
+        else:
+            inv2dt = 2.0 / dt
+            st = state if state is not None else {}
+            for dev in self.devices:
+                dev.stamp_static(J, t)
+                dev.stamp_dynamic(J, inv2dt)  # trap conductance = 2C/dt
+                dev.stamp_nonlinear(J, x, F)
+                dev.residual_static(x, F, t)
+                dev.residual_dynamic_trap(x, x_prev, inv2dt, F, st)
+        A = CSC.from_coo(J.rows, J.cols, J.vals, (n, n))
+        return A, F
+
+    def commit_dynamic_state(self, x, x_prev, dt: float, state: dict) -> None:
+        """Update per-device trapezoidal history after an accepted step."""
+        inv2dt = 2.0 / dt
+        for dev in self.devices:
+            dev.update_dynamic_state(x, x_prev, inv2dt, state)
+
+    def seed_dynamic_state(self, x, x_prev, dt: float, state: dict) -> None:
+        """Seed trapezoidal history from a backward-Euler first step."""
+        inv_dt = 1.0 / dt
+        for dev in self.devices:
+            dev.seed_state_be(x, x_prev, inv_dt, state)
+
+    def dc_pattern(self) -> CSC:
+        """The Jacobian pattern (values from a zero operating point)."""
+        x = np.zeros(self.n_unknowns)
+        A, _ = self.assemble(x, x, t=0.0, dt=1.0)
+        return A

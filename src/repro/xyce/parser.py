@@ -1,0 +1,238 @@
+"""SPICE netlist parser.
+
+Turns a SPICE-format deck into a :class:`~repro.xyce.netlist.Circuit`,
+so existing netlists can drive the transient substrate directly:
+
+.. code-block:: text
+
+    * RC lowpass driven by a pulse
+    V1 1 0 PULSE(0 5 0 1u 1u 100u 200u)
+    R1 1 2 1k
+    C1 2 0 1n
+    .tran 1u 500u
+    .end
+
+Supported cards: R, C, L, V, I (DC / SIN / PULSE / PWL), D, M (level-1
+NMOS), G (VCCS), E (VCVS), F (CCCS), H (CCVS), comments (``*``, ``;``),
+line continuation (``+``), ``.tran``, ``.end``.  Standard engineering
+suffixes (f p n u m k meg g t) are accepted on values.  Node names may
+be arbitrary tokens; ``0`` / ``gnd`` is ground.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .devices import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    Diode,
+    ISource,
+    Inductor,
+    MOSFET,
+    Resistor,
+    VCCS,
+    VCVS,
+    VSource,
+    pulse,
+    pwl,
+)
+from .netlist import Circuit
+
+__all__ = ["parse_netlist", "ParsedDeck", "parse_value", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist input, with the offending line."""
+
+
+_SUFFIXES = [
+    ("meg", 1e6),
+    ("t", 1e12), ("g", 1e9), ("k", 1e3),
+    ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+]
+
+
+def parse_value(tok: str) -> float:
+    """Parse a SPICE value with an optional engineering suffix."""
+    t = tok.strip().lower()
+    m = re.match(r"^([+-]?[0-9]*\.?[0-9]+(?:e[+-]?[0-9]+)?)([a-z]*)$", t)
+    if not m:
+        raise NetlistError(f"cannot parse value {tok!r}")
+    base = float(m.group(1))
+    suffix = m.group(2)
+    if not suffix:
+        return base
+    for name, scale in _SUFFIXES:
+        if suffix.startswith(name):
+            return base * scale
+    # Unknown trailing letters (e.g. 'ohm', 'v') are units: ignore.
+    return base
+
+
+@dataclass
+class ParsedDeck:
+    circuit: Circuit
+    node_names: Dict[str, int]          # name -> 1-based node id (ground absent)
+    title: str = ""
+    tran: Optional[Tuple[float, float]] = None   # (dt, t_end)
+    device_names: Dict[str, object] = field(default_factory=dict)
+
+    def node(self, name: str) -> int:
+        key = name.lower()
+        if key in ("0", "gnd"):
+            return 0
+        return self.node_names[key]
+
+
+def _source_waveform(tokens: List[str], line: str):
+    """Parse the source spec: DC value, SIN(...), PULSE(...), PWL(...)."""
+    joined = " ".join(tokens)
+    m = re.match(r"(?i)^\s*(sin|pulse|pwl)\s*\((.*)\)\s*$", joined)
+    if m:
+        kind = m.group(1).lower()
+        args = [parse_value(t) for t in m.group(2).replace(",", " ").split()]
+        if kind == "sin":
+            off = args[0] if len(args) > 0 else 0.0
+            amp = args[1] if len(args) > 1 else 0.0
+            freq = args[2] if len(args) > 2 else 1.0
+            delay = args[3] if len(args) > 3 else 0.0
+            return lambda t: off + amp * np.sin(2 * np.pi * freq * max(t - delay, 0.0))
+        if kind == "pulse":
+            if len(args) < 7:
+                raise NetlistError(f"PULSE needs 7 arguments: {line!r}")
+            return pulse(*args[:7])
+        pts = list(zip(args[0::2], args[1::2]))
+        return pwl(pts)
+    # DC forms: "DC 5", "5", "DC 5V"
+    toks = [t for t in tokens if t.lower() != "dc"]
+    if len(toks) != 1:
+        raise NetlistError(f"cannot parse source spec in {line!r}")
+    v = parse_value(toks[0])
+    return lambda t: v
+
+
+def parse_netlist(text: str) -> ParsedDeck:
+    """Parse a SPICE deck into a ready-to-simulate circuit."""
+    raw_lines = text.splitlines()
+    # Join continuations, strip comments.
+    lines: List[str] = []
+    for ln in raw_lines:
+        ln = ln.split(";")[0].rstrip()
+        if not ln.strip():
+            continue
+        if ln.lstrip().startswith("*"):
+            continue
+        if ln.lstrip().startswith("+") and lines:
+            lines[-1] += " " + ln.lstrip()[1:]
+        else:
+            lines.append(ln.strip())
+
+    title = ""
+    # Collect node names first (two passes keep ids stable and let the
+    # controlled sources resolve forward references).
+    node_names: Dict[str, int] = {}
+
+    def intern(name: str) -> None:
+        key = name.lower()
+        if key in ("0", "gnd") or key in node_names:
+            return
+        node_names[key] = len(node_names) + 1
+
+    cards: List[List[str]] = []
+    tran = None
+    for ln in lines:
+        toks = ln.split()
+        head = toks[0].lower()
+        if head.startswith("."):
+            if head == ".tran":
+                if len(toks) < 3:
+                    raise NetlistError(f".tran needs dt and t_end: {ln!r}")
+                tran = (parse_value(toks[1]), parse_value(toks[2]))
+            elif head == ".end":
+                break
+            elif head == ".title":
+                title = " ".join(toks[1:])
+            else:
+                raise NetlistError(f"unsupported directive {toks[0]!r}")
+            continue
+        kind = head[0]
+        n_nodes = {"r": 2, "c": 2, "l": 2, "v": 2, "i": 2, "d": 2,
+                   "g": 4, "e": 4, "f": 2, "h": 2, "m": 3}.get(kind)
+        if n_nodes is None:
+            raise NetlistError(f"unknown device card {toks[0]!r}")
+        if len(toks) < 1 + n_nodes:
+            raise NetlistError(f"too few tokens in {ln!r}")
+        for nm in toks[1 : 1 + n_nodes]:
+            intern(nm)
+        cards.append(toks)
+
+    ckt = Circuit(n_nodes=max(len(node_names), 1))
+
+    def node(name: str) -> int:
+        key = name.lower()
+        return 0 if key in ("0", "gnd") else node_names[key]
+
+    named: Dict[str, object] = {}
+    pending_ctrl: List[Tuple[str, object]] = []
+
+    for toks in cards:
+        name = toks[0]
+        kind = name[0].lower()
+        line = " ".join(toks)
+        if kind == "r":
+            dev = Resistor(node(toks[1]), node(toks[2]), parse_value(toks[3]))
+        elif kind == "c":
+            dev = Capacitor(node(toks[1]), node(toks[2]), parse_value(toks[3]))
+        elif kind == "l":
+            dev = Inductor(node(toks[1]), node(toks[2]), parse_value(toks[3]))
+        elif kind == "v":
+            dev = VSource(node(toks[1]), node(toks[2]), _source_waveform(toks[3:], line))
+        elif kind == "i":
+            dev = ISource(node(toks[1]), node(toks[2]), _source_waveform(toks[3:], line))
+        elif kind == "d":
+            dev = Diode(node(toks[1]), node(toks[2]))
+        elif kind == "m":
+            params = {}
+            for t in toks[4:]:
+                if "=" in t:
+                    k, v = t.split("=", 1)
+                    params[k.lower()] = parse_value(v)
+            dev = MOSFET(
+                node(toks[1]), node(toks[2]), node(toks[3]),
+                k=params.get("k", 2e-4), vt=params.get("vt", 0.7),
+                lam=params.get("lambda", 0.02),
+            )
+        elif kind == "g":
+            dev = VCCS(node(toks[1]), node(toks[2]), node(toks[3]), node(toks[4]),
+                       gm=parse_value(toks[5]))
+        elif kind == "e":
+            dev = VCVS(node(toks[1]), node(toks[2]), node(toks[3]), node(toks[4]),
+                       gain=parse_value(toks[5]))
+        elif kind == "f":
+            dev = CCCS(node(toks[1]), node(toks[2]), ctrl=None, gain=parse_value(toks[4]))
+            pending_ctrl.append((toks[3], dev))
+        elif kind == "h":
+            dev = CCVS(node(toks[1]), node(toks[2]), ctrl=None, r=parse_value(toks[4]))
+            pending_ctrl.append((toks[3], dev))
+        else:  # pragma: no cover - guarded above
+            raise NetlistError(f"unknown device card {name!r}")
+        ckt.add(dev)
+        named[name.lower()] = dev
+
+    for ctrl_name, dev in pending_ctrl:
+        ctrl = named.get(ctrl_name.lower())
+        if ctrl is None or ctrl.unknowns() == 0:
+            raise NetlistError(
+                f"controlled source references {ctrl_name!r}, which is not a "
+                "branch device (V source or inductor)"
+            )
+        dev.ctrl = ctrl
+
+    return ParsedDeck(circuit=ckt, node_names=node_names, title=title,
+                      tran=tran, device_names=named)

@@ -1,0 +1,68 @@
+"""Shared test utilities: random matrix generators and SciPy bridges.
+
+SciPy is used in the test suite only, as an independent oracle for the
+from-scratch kernels in :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse import CSC
+
+
+def to_scipy(A: CSC) -> sp.csc_matrix:
+    return sp.csc_matrix((A.data.copy(), A.indices.copy(), A.indptr.copy()), shape=A.shape)
+
+
+def from_scipy(S) -> CSC:
+    S = sp.csc_matrix(S)
+    S.sort_indices()
+    return CSC(S.shape[0], S.shape[1], S.indptr.astype(np.int64), S.indices.astype(np.int64), S.data.astype(np.float64))
+
+
+def random_sparse(
+    n_rows: int,
+    n_cols: int,
+    density: float,
+    rng: np.random.Generator,
+    ensure_diag: bool = False,
+    diag_boost: float = 0.0,
+) -> CSC:
+    """Uniform random sparse matrix; optionally with a (boosted) diagonal."""
+    nnz = max(1, int(density * n_rows * n_cols))
+    r = rng.integers(0, n_rows, size=nnz)
+    c = rng.integers(0, n_cols, size=nnz)
+    v = rng.standard_normal(nnz)
+    if ensure_diag:
+        d = min(n_rows, n_cols)
+        r = np.concatenate([r, np.arange(d)])
+        c = np.concatenate([c, np.arange(d)])
+        dv = rng.standard_normal(d)
+        dv += np.sign(dv + (dv == 0)) * diag_boost
+        v = np.concatenate([v, dv])
+    return CSC.from_coo(r, c, v, (n_rows, n_cols))
+
+
+def random_spd_like(n: int, density: float, rng: np.random.Generator) -> CSC:
+    """Diagonally dominant unsymmetric matrix — safely factorable."""
+    A = random_sparse(n, n, density, rng)
+    # Make strictly diagonally dominant.
+    S = to_scipy(A)
+    rowsum = np.abs(S).sum(axis=1).A1 if hasattr(np.abs(S).sum(axis=1), "A1") else np.asarray(np.abs(S).sum(axis=1)).ravel()
+    d = rowsum + 1.0
+    D = sp.diags(d)
+    return from_scipy(S + D)
+
+
+def dense_residual(A: CSC, L: CSC, U: CSC, row_perm=None, col_perm=None) -> float:
+    """Dense-arithmetic check of ||PAQ - LU|| / ||A|| via NumPy."""
+    Ad = A.to_dense()
+    if row_perm is not None:
+        Ad = Ad[np.asarray(row_perm)]
+    if col_perm is not None:
+        Ad = Ad[:, np.asarray(col_perm)]
+    R = Ad - L.to_dense() @ U.to_dense()
+    denom = max(np.linalg.norm(A.to_dense()), 1e-300)
+    return float(np.linalg.norm(R) / denom)

@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness: profiles, reporting, geometric mean."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import ascii_series, format_table, geometric_mean, performance_profile
+
+
+class TestPerformanceProfile:
+    def test_single_solver_always_best(self):
+        times = {"A": {"p1": 1.0, "p2": 2.0}}
+        curves = performance_profile(times, taus=[1.0, 2.0])
+        assert curves["A"] == [(1.0, 1.0), (2.0, 1.0)]
+
+    def test_two_solvers_split(self):
+        times = {
+            "fast": {"p1": 1.0, "p2": 4.0},
+            "slow": {"p1": 2.0, "p2": 1.0},
+        }
+        curves = performance_profile(times, taus=[1.0, 2.0, 4.0])
+        # Each solver is best on one problem -> fraction 0.5 at tau=1.
+        assert curves["fast"][0] == (1.0, 0.5)
+        assert curves["slow"][0] == (1.0, 0.5)
+        # 'slow' is within 2x everywhere.
+        assert curves["slow"][1] == (2.0, 1.0)
+        # 'fast' needs tau=4 on p2.
+        assert curves["fast"][1] == (2.0, 0.5)
+        assert curves["fast"][2] == (4.0, 1.0)
+
+    def test_failures_count_as_infinite(self):
+        times = {
+            "ok": {"p1": 1.0, "p2": 1.0},
+            "fails": {"p1": 1.0, "p2": math.inf},
+        }
+        curves = performance_profile(times, taus=[1.0, 1e6])
+        assert curves["fails"][-1][1] == 0.5  # never reaches p2
+
+    def test_mismatched_problem_sets_rejected(self):
+        with pytest.raises(ValueError):
+            performance_profile({"a": {"p": 1.0}, "b": {"q": 1.0}})
+
+    def test_all_failed_problem_rejected(self):
+        with pytest.raises(ValueError):
+            performance_profile({"a": {"p": math.inf}, "b": {"p": math.inf}})
+
+    def test_curves_monotone(self):
+        rng = np.random.default_rng(0)
+        times = {
+            s: {f"p{i}": float(rng.uniform(0.1, 10)) for i in range(10)}
+            for s in ("x", "y", "z")
+        }
+        curves = performance_profile(times)
+        for pts in curves.values():
+            fracs = [f for _, f in pts]
+            assert fracs == sorted(fracs)
+            assert pts[-1][1] <= 1.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive_and_inf(self):
+        assert geometric_mean([2.0, 0.0, math.inf, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        t = format_table(["name", "value"], [["a", 1], ["longer", 2.5]], title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_ascii_series(self):
+        s = ascii_series("curve", [1, 2], [0.5, 1.0])
+        assert s.startswith("curve:")
+        assert "(1, 0.5)" in s and "(2, 1)" in s
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_solvers=st.integers(1, 4),
+    n_problems=st.integers(1, 8),
+    seed=st.integers(0, 999),
+)
+def test_property_profile_invariants(n_solvers, n_problems, seed):
+    rng = np.random.default_rng(seed)
+    times = {
+        f"s{k}": {f"p{i}": float(rng.uniform(0.01, 100)) for i in range(n_problems)}
+        for k in range(n_solvers)
+    }
+    curves = performance_profile(times)
+    # At tau=1 the best-solver fractions sum to >= 1 (ties can exceed).
+    total_best = sum(pts[0][1] for pts in curves.values())
+    assert total_best >= 1.0 - 1e-12
+    # Every curve eventually reaches 1 for huge tau.
+    big = performance_profile(times, taus=[1e12])
+    for pts in big.values():
+        assert pts[0][1] == 1.0

@@ -1,0 +1,136 @@
+"""Tests for the 2-D block container and Matrix-Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import BlockMatrix, CSC, read_matrix_market, write_matrix_market
+
+from .helpers import random_sparse
+
+
+class TestBlockMatrix:
+    def test_partition_assemble_roundtrip(self):
+        rng = np.random.default_rng(0)
+        A = random_sparse(12, 12, 0.3, rng)
+        splits = np.array([0, 3, 7, 12])
+        bm = BlockMatrix.from_matrix(A, splits, splits)
+        assert np.allclose(bm.assemble().to_dense(), A.to_dense())
+
+    def test_empty_blocks_not_stored(self):
+        A = CSC.identity(6)
+        splits = np.array([0, 3, 6])
+        bm = BlockMatrix.from_matrix(A, splits, splits)
+        assert set(bm.blocks) == {(0, 0), (1, 1)}
+        assert not bm.has(0, 1)
+
+    def test_get_missing_returns_empty(self):
+        bm = BlockMatrix(np.array([0, 2, 5]), np.array([0, 1, 4]))
+        blk = bm.get(0, 1)
+        assert blk.shape == (2, 3)
+        assert blk.nnz == 0
+
+    def test_set_validates_shape(self):
+        bm = BlockMatrix(np.array([0, 2]), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            bm.set(0, 0, CSC.identity(3))
+
+    def test_blockwise_matvec_matches(self):
+        rng = np.random.default_rng(1)
+        A = random_sparse(10, 8, 0.4, rng)
+        bm = BlockMatrix.from_matrix(A, np.array([0, 4, 10]), np.array([0, 3, 8]))
+        x = rng.standard_normal(8)
+        assert np.allclose(bm.matvec(x), A.matvec(x))
+
+    def test_uneven_splits(self):
+        rng = np.random.default_rng(2)
+        A = random_sparse(9, 9, 0.3, rng)
+        bm = BlockMatrix.from_matrix(A, np.array([0, 0, 4, 9]), np.array([0, 2, 2, 9]))
+        assert np.allclose(bm.assemble().to_dense(), A.to_dense())
+
+    def test_bad_splits_rejected(self):
+        with pytest.raises(ValueError):
+            BlockMatrix(np.array([1, 2]), np.array([0, 2]))
+        with pytest.raises(ValueError):
+            BlockMatrix(np.array([0, 3, 2]), np.array([0, 2, 2]))
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        A = random_sparse(7, 5, 0.4, rng)
+        buf = io.StringIO()
+        write_matrix_market(A, buf, comment="test matrix")
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        A = read_matrix_market(io.StringIO(text))
+        assert np.allclose(A.to_dense(), np.eye(2))
+
+    def test_symmetric_mirroring(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n"
+        A = read_matrix_market(io.StringIO(text))
+        d = A.to_dense()
+        assert d[1, 0] == 5.0 and d[0, 1] == 5.0 and d[2, 2] == 1.0
+
+    def test_skew_symmetric(self):
+        text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n"
+        A = read_matrix_market(io.StringIO(text))
+        d = A.to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_rejects_non_mm(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("hello\n1 1 0\n"))
+
+    def test_rejects_complex(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_array_format(self):
+        text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_comment_lines_skipped(self):
+        text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n1 2 4.0\n"
+        A = read_matrix_market(io.StringIO(text))
+        assert A.get(0, 1) == 4.0
+
+    def test_file_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(4)
+        A = random_sparse(6, 6, 0.3, rng)
+        p = tmp_path / "m.mtx"
+        write_matrix_market(A, p)
+        B = read_matrix_market(p)
+        assert np.allclose(B.to_dense(), A.to_dense())
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 10), m=st.integers(1, 10), seed=st.integers(0, 9999))
+def test_property_mm_roundtrip_exact(n, m, seed):
+    rng = np.random.default_rng(seed)
+    A = random_sparse(n, m, 0.4, rng)
+    buf = io.StringIO()
+    write_matrix_market(A, buf)
+    buf.seek(0)
+    B = read_matrix_market(buf)
+    assert B.same_pattern(A)
+    assert np.array_equal(B.data, A.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 12), k=st.integers(1, 3), seed=st.integers(0, 9999))
+def test_property_block_roundtrip(n, k, seed):
+    rng = np.random.default_rng(seed)
+    A = random_sparse(n, n, 0.3, rng)
+    cuts = np.sort(rng.integers(0, n + 1, size=k))
+    splits = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    bm = BlockMatrix.from_matrix(A, splits, splits)
+    assert np.allclose(bm.assemble().to_dense(), A.to_dense())

@@ -1,0 +1,96 @@
+"""Tests for the CLI and the chrome-trace schedule export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import Basker
+from repro.matrices import grid2d
+from repro.parallel import CostLedger, SANDY_BRIDGE, SimTask, simulate
+from repro.sparse import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    rng = np.random.default_rng(0)
+    A = grid2d(8, rng=rng)
+    p = tmp_path / "grid.mtx"
+    write_matrix_market(A, p)
+    return str(p)
+
+
+class TestCLI:
+    def test_info(self, mtx_file, capsys):
+        assert main(["info", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "n = 64" in out
+        assert "BTF" in out
+
+    def test_info_with_fill(self, mtx_file, capsys):
+        assert main(["info", mtx_file, "--fill"]) == 0
+        assert "fill density" in capsys.readouterr().out
+
+    def test_info_accepts_suite_name(self, capsys):
+        assert main(["info", "Power0*+"]) == 0
+        assert "100.0% rows" in capsys.readouterr().out
+
+    def test_spy_orders(self, mtx_file, capsys):
+        for order in ("natural", "btf", "basker"):
+            assert main(["spy", mtx_file, "--order", order, "--size", "16"]) == 0
+            out = capsys.readouterr().out
+            assert out.count("|") >= 32  # 16 rows framed
+
+    @pytest.mark.parametrize("solver", ["basker", "klu", "pmkl"])
+    def test_solve(self, mtx_file, capsys, solver):
+        assert main(["solve", mtx_file, "--solver", solver, "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "scaled residual" in out
+        resid = float(out.split("scaled residual =")[1].split()[0])
+        assert resid < 1e-10
+
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Power0*+" in out and "pwtk" in out
+
+    def test_suite_emit(self, tmp_path, capsys):
+        out_path = str(tmp_path / "power0.mtx")
+        assert main(["suite", "--emit", "Power0*+", "--output", out_path]) == 0
+        from repro.sparse import read_matrix_market
+
+        A = read_matrix_market(out_path)
+        assert A.n_rows > 1000
+
+
+class TestChromeTrace:
+    def test_events_cover_tasks(self):
+        tasks = [
+            SimTask(tid=0, ledger=CostLedger(sparse_flops=1e5), thread=0, label="a"),
+            SimTask(tid=1, ledger=CostLedger(sparse_flops=2e5), thread=1, deps=[0], label="b"),
+        ]
+        s = simulate(tasks, SANDY_BRIDGE, 2)
+        trace = s.to_chrome_trace({0: "a", 1: "b"})
+        assert len(trace["traceEvents"]) == 2
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert names == {"a", "b"}
+        # serializable
+        json.dumps(trace)
+
+    def test_durations_match_schedule(self):
+        tasks = [SimTask(tid=0, ledger=CostLedger(sparse_flops=1e6), thread=0)]
+        s = simulate(tasks, SANDY_BRIDGE, 1)
+        ev = s.to_chrome_trace()["traceEvents"][0]
+        assert ev["dur"] == pytest.approx((s.end[0] - s.start[0]) * 1e6)
+        assert ev["tid"] == 0
+
+    def test_basker_trace_has_thread_lanes(self):
+        rng = np.random.default_rng(1)
+        A = grid2d(14, rng=rng)
+        num = Basker(n_threads=4, nd_threshold=40).factor(A)
+        sched = num.schedule(SANDY_BRIDGE)
+        trace = sched.to_chrome_trace(num.task_labels)
+        lanes = {e["tid"] for e in trace["traceEvents"]}
+        assert lanes == {0, 1, 2, 3}
+        assert any("leaf" in e["name"] for e in trace["traceEvents"])

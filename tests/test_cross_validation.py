@@ -1,0 +1,99 @@
+"""Randomized cross-validation: every solver, same answer.
+
+Property-based stress tests that run the full solver zoo against
+SciPy's SuperLU on randomized structured matrices — the strongest
+correctness net in the suite.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Basker
+from repro.solvers import KLU, SupernodalLU
+from repro.sparse import CSC, solve_residual
+
+from .helpers import to_scipy
+
+
+def _structured_matrix(rng, kind: str) -> CSC:
+    """A randomized matrix from one of the structural classes."""
+    from repro.matrices import (
+        btf_composite,
+        grid2d,
+        ladder_circuit,
+        meshed_area_grid,
+        reduced_system,
+        thick_ladder,
+    )
+
+    if kind == "grid":
+        return grid2d(int(rng.integers(6, 14)), skew=float(rng.uniform(0, 0.5)), rng=rng)
+    if kind == "ladder":
+        return ladder_circuit(int(rng.integers(50, 200)), rng=rng)
+    if kind == "thick":
+        return thick_ladder(int(rng.integers(20, 60)), int(rng.integers(3, 7)), rng=rng)
+    if kind == "rs":
+        return reduced_system(int(rng.integers(5, 25)), rng=rng)
+    if kind == "areas":
+        return meshed_area_grid(int(rng.integers(2, 6)), int(rng.integers(10, 30)), rng=rng)
+    return btf_composite(
+        (1 + rng.poisson(2.0, size=int(rng.integers(5, 20)))).tolist(),
+        big_block=thick_ladder(int(rng.integers(15, 40)), 4, rng=rng),
+        coupling_per_block=1.0,
+        rng=rng,
+    )
+
+
+KINDS = ["grid", "ladder", "thick", "rs", "areas", "composite"]
+
+
+@settings(max_examples=24, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    kind=st.sampled_from(KINDS),
+    p=st.sampled_from([1, 2, 4]),
+)
+def test_property_all_solvers_agree(seed, kind, p):
+    rng = np.random.default_rng(seed)
+    A = _structured_matrix(rng, kind)
+    b = rng.standard_normal(A.n_rows)
+    x_ref = spla.spsolve(to_scipy(A), b)
+
+    solvers = [KLU(), Basker(n_threads=p, nd_threshold=50), SupernodalLU()]
+    for s in solvers:
+        num = s.factor(A)
+        x = s.solve(num, b)
+        assert solve_residual(A, x, b) < 1e-9, (kind, seed, type(s).__name__)
+        assert np.allclose(x, x_ref, atol=1e-6), (kind, seed, type(s).__name__)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), kind=st.sampled_from(KINDS))
+def test_property_refactor_sequence_stable(seed, kind):
+    """Refactoring with perturbed values stays accurate over a chain."""
+    rng = np.random.default_rng(seed)
+    A = _structured_matrix(rng, kind)
+    bk = Basker(n_threads=2, nd_threshold=50)
+    num = bk.factor(A)
+    b = rng.standard_normal(A.n_rows)
+    for _ in range(3):
+        A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
+                A.data * rng.uniform(0.8, 1.25, A.nnz))
+        num = bk.refactor(A, num)
+        assert solve_residual(A, bk.solve(num, b), b) < 1e-9
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_factor_nnz_deterministic(seed):
+    """Same matrix, same plan -> bitwise identical factors."""
+    rng = np.random.default_rng(seed)
+    A = _structured_matrix(rng, "composite")
+    bk = Basker(n_threads=4, nd_threshold=50)
+    n1 = bk.factor(A)
+    n2 = bk.factor(A)
+    assert n1.factor_nnz == n2.factor_nnz
+    for b_id in n1.nd_numeric:
+        assert np.array_equal(n1.nd_numeric[b_id].L.data, n2.nd_numeric[b_id].L.data)

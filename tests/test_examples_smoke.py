@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The two fastest examples run in-process; set REPRO_SKIP_EXAMPLES=1 to
+skip (e.g. in tight CI loops).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+skip = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_EXAMPLES") == "1",
+    reason="REPRO_SKIP_EXAMPLES=1",
+)
+
+
+def _run(name: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@skip
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "solve residual" in out
+    assert "speedup" in out
+    # The residual it prints must be tiny.
+    resid = float(out.split("solve residual:")[1].split()[0])
+    assert resid < 1e-10
+
+
+@skip
+def test_machine_models_runs(tmp_path):
+    out = _run("machine_models.py")
+    assert "cost ledger" in out
+    assert "Perfetto" in out or "perfetto" in out
+    # Clean up the trace the example writes into the repo root.
+    trace = EXAMPLES.parent / "basker_trace.json"
+    if trace.exists():
+        trace.unlink()

@@ -1,0 +1,178 @@
+"""Tests for elimination trees, column counts and the reach DFS."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    ReachWorkspace,
+    etree,
+    postorder,
+    symbolic_cholesky_counts,
+    symmetric_pattern,
+    topo_reach,
+)
+from repro.sparse import CSC
+
+from .helpers import from_scipy, random_sparse, to_scipy
+
+
+def _random_sym_pattern(n, seed, density=0.2):
+    rng = np.random.default_rng(seed)
+    A = random_sparse(n, n, density, rng, ensure_diag=True)
+    return symmetric_pattern(A)
+
+
+def _cholesky_pattern_dense(B):
+    """Reference factor pattern by dense symbolic elimination."""
+    n = B.n_cols
+    pat = (B.to_dense() != 0).astype(bool)
+    np.fill_diagonal(pat, True)
+    for k in range(n):
+        below = np.flatnonzero(pat[k + 1 :, k]) + k + 1
+        # Eliminating k connects all of `below` pairwise.
+        pat[np.ix_(below, below)] = True
+    return np.tril(pat)
+
+
+class TestEtree:
+    def test_tridiagonal_is_a_path(self):
+        n = 6
+        d = np.eye(n) + np.eye(n, k=1) + np.eye(n, k=-1)
+        B = CSC.from_dense(d)
+        parent = etree(B)
+        assert parent.tolist() == [1, 2, 3, 4, 5, -1]
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        B = CSC.identity(5)
+        parent = etree(B)
+        assert np.all(parent == -1)
+
+    def test_arrow_matrix(self):
+        # Arrow pointing at the last column: every column's parent is n-1.
+        n = 5
+        d = np.eye(n)
+        d[n - 1, :] = 1.0
+        d[:, n - 1] = 1.0
+        parent = etree(CSC.from_dense(d))
+        assert parent.tolist() == [4, 4, 4, 4, -1]
+
+    def test_parent_always_larger(self):
+        for seed in range(10):
+            B = _random_sym_pattern(15, seed)
+            parent = etree(B)
+            for j in range(15):
+                assert parent[j] == -1 or parent[j] > j
+
+
+class TestPostorder:
+    def test_children_before_parents(self):
+        for seed in range(10):
+            B = _random_sym_pattern(20, seed)
+            parent = etree(B)
+            post = postorder(parent)
+            seen = np.zeros(20, dtype=bool)
+            position = np.empty(20, dtype=int)
+            for k, v in enumerate(post):
+                position[v] = k
+            for v in range(20):
+                p = parent[v]
+                if p != -1:
+                    assert position[v] < position[p]
+            assert sorted(post.tolist()) == list(range(20))
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0], dtype=np.int64))
+
+
+class TestColumnCounts:
+    def test_counts_match_dense_symbolic_cholesky(self):
+        for seed in range(8):
+            B = _random_sym_pattern(12, seed, density=0.25)
+            parent = etree(B)
+            counts = symbolic_cholesky_counts(B, parent)
+            ref = _cholesky_pattern_dense(B).sum(axis=0)
+            assert counts.tolist() == ref.tolist()
+
+    def test_tridiagonal_counts(self):
+        n = 6
+        d = np.eye(n) + np.eye(n, k=1) + np.eye(n, k=-1)
+        B = CSC.from_dense(d)
+        counts = symbolic_cholesky_counts(B, etree(B))
+        # Tridiagonal factors with no fill: 2 per column except the last.
+        assert counts.tolist() == [2, 2, 2, 2, 2, 1]
+
+
+class TestTopoReach:
+    def _manual_reach(self, Ldense, brows):
+        """Reference reach by BFS over the dense L pattern."""
+        n = Ldense.shape[0]
+        seen = set(int(b) for b in brows)
+        frontier = list(seen)
+        while frontier:
+            j = frontier.pop()
+            for i in range(n):
+                if i != j and Ldense[i, j] != 0 and i not in seen:
+                    seen.add(i)
+                    frontier.append(i)
+        return seen
+
+    def test_reach_set_matches_bfs(self):
+        rng = np.random.default_rng(0)
+        n = 15
+        d = np.tril(rng.random((n, n)) < 0.25, -1).astype(float)
+        np.fill_diagonal(d, 1.0)
+        L = CSC.from_dense(d)
+        ws = ReachWorkspace(n)
+        for trial in range(10):
+            brows = np.unique(rng.integers(0, n, size=3)).astype(np.int64)
+            ws.next_stamp()
+            top, steps = topo_reach(L.indptr, L.indices, brows, None, ws)
+            got = set(int(v) for v in ws.xi[top:])
+            assert got == self._manual_reach(d, brows)
+
+    def test_topological_order(self):
+        """Every node appears before nodes it updates (its L-column rows)."""
+        rng = np.random.default_rng(1)
+        n = 20
+        d = np.tril(rng.random((n, n)) < 0.3, -1).astype(float)
+        np.fill_diagonal(d, 1.0)
+        L = CSC.from_dense(d)
+        ws = ReachWorkspace(n)
+        ws.next_stamp()
+        brows = np.arange(0, n, 3, dtype=np.int64)
+        top, _ = topo_reach(L.indptr, L.indices, brows, None, ws)
+        pos = {int(v): k for k, v in enumerate(ws.xi[top:])}
+        for j in pos:
+            rows, _ = L.col(j)
+            for i in rows:
+                i = int(i)
+                if i != j and i in pos:
+                    assert pos[j] < pos[i], f"{j} must precede {i}"
+
+    def test_pinv_blocks_unpivoted_rows(self):
+        """Rows with pinv == -1 are leaves: nothing reached through them."""
+        n = 4
+        # L column 0 updates rows 1..3; but if row 1 is not pivotal it
+        # contributes no further edges.
+        d = np.eye(n)
+        d[1, 0] = d[2, 1] = 1.0
+        L = CSC.from_dense(d)
+        pinv = np.array([0, -1, -1, -1], dtype=np.int64)
+        ws = ReachWorkspace(n)
+        ws.next_stamp()
+        top, _ = topo_reach(L.indptr, L.indices, np.array([0], dtype=np.int64), pinv, ws)
+        got = set(int(v) for v in ws.xi[top:])
+        assert got == {0, 1}  # row 2 not reached: row 1 has no pivot column
+
+    def test_stamp_isolation(self):
+        """Consecutive queries do not leak marks."""
+        L = CSC.identity(5)
+        ws = ReachWorkspace(5)
+        ws.next_stamp()
+        top1, _ = topo_reach(L.indptr, L.indices, np.array([1], dtype=np.int64), None, ws)
+        ws.next_stamp()
+        top2, _ = topo_reach(L.indptr, L.indices, np.array([2], dtype=np.int64), None, ws)
+        assert set(ws.xi[top2:].tolist()) == {2}

@@ -1,0 +1,128 @@
+"""Tests for the unified DirectSolver interface and RCM ordering."""
+
+import numpy as np
+import pytest
+
+from repro.interface import DirectSolver, available_solvers
+from repro.matrices import btf_composite, grid2d, thick_ladder
+from repro.ordering import is_permutation
+from repro.ordering.rcm import bandwidth, rcm_order
+from repro.parallel import SANDY_BRIDGE
+from repro.sparse import CSC, solve_residual
+
+from .helpers import random_sparse
+
+
+def _matrix(seed=0):
+    rng = np.random.default_rng(seed)
+    return btf_composite([3] * 8, big_block=thick_ladder(30, 5, rng=rng), rng=rng)
+
+
+class TestDirectSolver:
+    def test_registry(self):
+        assert set(available_solvers()) == {"basker", "klu", "pardiso", "superlu_mt"}
+
+    @pytest.mark.parametrize("name", ["basker", "klu", "pardiso"])
+    def test_four_phase_lifecycle(self, name):
+        A = _matrix()
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(A.n_rows)
+        s = DirectSolver(name, n_threads=4)
+        s.symbolic_factorization(A)
+        s.numeric_factorization(A)
+        x = s.solve(b)
+        assert solve_residual(A, x, b) < 1e-10
+        assert s.factor_nnz > 0
+        assert s.factor_seconds(SANDY_BRIDGE) > 0
+
+    def test_numeric_without_symbolic_autoruns(self):
+        A = _matrix(2)
+        s = DirectSolver("klu").numeric_factorization(A)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal(A.n_rows)
+        assert solve_residual(A, s.solve(b), b) < 1e-10
+
+    def test_refactor_path_reuses_symbolic(self):
+        A = _matrix(3)
+        s = DirectSolver("basker", n_threads=2)
+        s.symbolic_factorization(A)
+        s.numeric_factorization(A)
+        sym1 = s._symbolic
+        A2 = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(), A.data * 2.0)
+        s.numeric_factorization(A2)
+        assert s._symbolic is sym1
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(A.n_rows)
+        assert solve_residual(A2, s.solve(b), b) < 1e-10
+
+    def test_transpose_and_refined_solves(self):
+        A = _matrix(4)
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal(A.n_rows)
+        s = DirectSolver("klu").numeric_factorization(A)
+        xt = s.solve_transpose(b)
+        assert np.max(np.abs(A.to_dense().T @ xt - b)) < 1e-8
+        xr = s.solve_refined(A, b)
+        assert solve_residual(A, xr, b) < 1e-13
+
+    def test_multi_rhs(self):
+        A = _matrix(5)
+        rng = np.random.default_rng(5)
+        B = rng.standard_normal((A.n_rows, 3))
+        s = DirectSolver("pardiso").numeric_factorization(A)
+        X = s.solve(B)
+        assert X.shape == B.shape
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            DirectSolver("umfpack")
+
+    def test_solve_before_factor_raises(self):
+        s = DirectSolver("klu")
+        with pytest.raises(RuntimeError):
+            s.solve(np.zeros(3))
+
+    def test_repr_states(self):
+        s = DirectSolver("klu")
+        assert "empty" in repr(s)
+        A = _matrix(6)
+        s.symbolic_factorization(A)
+        assert "symbolic" in repr(s)
+        s.numeric_factorization(A)
+        assert "numeric" in repr(s)
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            A = random_sparse(30, 30, 0.1, rng, ensure_diag=True)
+            assert is_permutation(rcm_order(A))
+
+    def test_reduces_bandwidth_on_shuffled_band(self):
+        rng = np.random.default_rng(10)
+        n = 60
+        band = np.eye(n) * 4 + np.eye(n, k=1) + np.eye(n, k=-1) + np.eye(n, k=2) + np.eye(n, k=-2)
+        shuffle = rng.permutation(n)
+        A = CSC.from_dense(band[np.ix_(shuffle, shuffle)])
+        assert bandwidth(A) > 10
+        p = rcm_order(A)
+        B = A.permute(p, p)
+        assert bandwidth(B) <= 4
+
+    def test_grid_bandwidth_near_sqrt_n(self):
+        rng = np.random.default_rng(11)
+        A = grid2d(12, rng=rng)
+        p = rcm_order(A)
+        B = A.permute(p, p)
+        assert bandwidth(B) <= 3 * 12  # O(sqrt(n)) profile
+
+    def test_disconnected_components(self):
+        d = np.zeros((6, 6))
+        d[:3, :3] = np.eye(3) + np.eye(3, k=1) + np.eye(3, k=-1)
+        d[3:, 3:] = np.eye(3) + np.eye(3, k=1) + np.eye(3, k=-1)
+        A = CSC.from_dense(d)
+        assert is_permutation(rcm_order(A))
+
+    def test_empty(self):
+        assert rcm_order(CSC.empty(0, 0)).size == 0

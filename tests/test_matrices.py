@@ -1,0 +1,155 @@
+"""Tests for the workload generators and the suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    FIG5_MATRICES,
+    TABLE1,
+    TABLE2,
+    add_semi_dense_columns,
+    btf_composite,
+    get_matrix,
+    get_spec,
+    grid2d,
+    grid3d,
+    ladder_circuit,
+    meshed_area_grid,
+    reduced_system,
+    suite_names,
+)
+from repro.ordering import btf
+from repro.solvers import KLU
+from repro.sparse import CSC
+
+
+class TestGenerators:
+    def test_grid2d_shape_and_symmetry(self):
+        A = grid2d(8, stencil=5)
+        assert A.shape == (64, 64)
+        # structurally symmetric
+        d = A.to_dense()
+        assert np.array_equal(d != 0, d.T != 0)
+
+    def test_grid2d_9pt_denser(self):
+        assert grid2d(10, stencil=9).nnz > grid2d(10, stencil=5).nnz
+
+    def test_grid3d(self):
+        A = grid3d(4, stencil=7)
+        assert A.shape == (64, 64)
+        A27 = grid3d(4, stencil=27)
+        assert A27.nnz > A.nnz
+
+    def test_grid_rejects_bad_stencil(self):
+        with pytest.raises(ValueError):
+            grid2d(4, stencil=7)
+        with pytest.raises(ValueError):
+            grid3d(4, stencil=9)
+
+    def test_ladder_single_scc(self):
+        rng = np.random.default_rng(0)
+        A = ladder_circuit(200, rng=rng)
+        res = btf(A)
+        assert res.n_blocks == 1
+
+    def test_ladder_low_fill(self):
+        rng = np.random.default_rng(1)
+        A = ladder_circuit(400, extra_taps=0.5, long_range_frac=0.01, rng=rng)
+        num = KLU().factor(A)
+        assert num.factor_nnz / A.nnz < 4.0
+
+    def test_btf_composite_block_structure(self):
+        rng = np.random.default_rng(2)
+        big = ladder_circuit(80, rng=rng)
+        A = btf_composite([3, 4, 5], big_block=big, rng=rng)
+        res = btf(A)
+        assert res.n_blocks >= 4  # big + three small (couplings can split none)
+        assert res.largest_block >= 80
+
+    def test_reduced_system_full_btf(self):
+        rng = np.random.default_rng(3)
+        A = reduced_system(30, block_size_mean=6.0, rng=rng)
+        res = btf(A)
+        assert res.btf_percent(small_cutoff=96) == 100.0
+        assert res.n_blocks >= 30
+
+    def test_meshed_area_grid_blocks(self):
+        rng = np.random.default_rng(4)
+        A = meshed_area_grid(6, 20, rng=rng)
+        res = btf(A)
+        assert res.n_blocks == 6
+
+    def test_semi_dense_columns_stay_off_diagonal(self):
+        """The added columns become 1x1 BTF blocks: never factored."""
+        rng = np.random.default_rng(5)
+        base = ladder_circuit(150, rng=rng)
+        A = add_semi_dense_columns(base, n_cols=5, touch_frac=0.4, rng=rng)
+        res = btf(A)
+        # Block count grows by exactly the added columns.
+        assert res.n_blocks == btf(base).n_blocks + 5
+        # KLU fill unaffected by the dense coupling.
+        assert KLU().factor(A).factor_nnz <= KLU().factor(base).factor_nnz + 5
+
+    def test_all_generators_factorable(self):
+        rng = np.random.default_rng(6)
+        mats = [
+            grid2d(6, rng=rng),
+            grid3d(3, rng=rng),
+            ladder_circuit(60, rng=rng),
+            reduced_system(8, rng=rng),
+            meshed_area_grid(3, 12, rng=rng),
+        ]
+        for A in mats:
+            num = KLU().factor(A)  # must not raise
+            assert num.factor_nnz > 0
+
+
+class TestSuite:
+    def test_registry_complete(self):
+        assert len(TABLE1) == 22
+        assert len(TABLE2) == 6
+        assert len(set(suite_names(1))) == 22
+        for name in FIG5_MATRICES:
+            assert name in suite_names(1)
+
+    def test_fill_density_ordering_matches_paper_classes(self):
+        """Low-fill analogs stay below, high-fill above the 4.0 line
+        (the paper's double line in Table I) — checked coarsely."""
+        for spec in TABLE1:
+            assert spec.high_fill == (spec.paper.fill_density > 4.0)
+
+    def test_generation_is_deterministic(self):
+        A1 = get_matrix("Power0*+")
+        A2 = get_matrix("Power0*+")
+        assert A1.same_pattern(A2)
+        assert np.array_equal(A1.data, A2.data)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_matrix("nonexistent")
+
+    def test_spec_lookup(self):
+        spec = get_spec("hvdc2+")
+        assert spec.kind == "powergrid"
+        assert spec.paper.btf_pct == 100.0
+
+    @pytest.mark.parametrize("name", ["Power0*+", "rajat21", "hvdc2+", "Xyce0*"])
+    def test_low_fill_analogs_factor_with_low_fill(self, name):
+        A = get_matrix(name)
+        num = KLU().factor(A)
+        assert num.factor_nnz / A.nnz < 4.0
+
+    @pytest.mark.parametrize("name", ["G2_Circuit", "memchip"])
+    def test_high_fill_analogs_have_high_fill(self, name):
+        A = get_matrix(name)
+        num = KLU().factor(A)
+        assert num.factor_nnz / A.nnz > 4.0
+
+    def test_btf_percent_bands(self):
+        """100%-BTF analogs measure 100%; 0%-BTF analogs measure ~0."""
+        for name in ["RS_b39c30+", "Power0*+", "hvdc2+"]:
+            res = btf(get_matrix(name))
+            assert res.btf_percent(small_cutoff=96) > 95.0
+        for name in ["Circuit5M", "trans5", "bcircuit"]:
+            res = btf(get_matrix(name))
+            assert res.btf_percent(small_cutoff=96) < 5.0

@@ -1,0 +1,189 @@
+"""Tests for the SPICE netlist parser and the extended device set."""
+
+import numpy as np
+import pytest
+
+from repro.xyce import Circuit, Resistor, VSource, dc_operating_point, run_transient
+from repro.xyce.devices import CCCS, CCVS, MOSFET, VCVS
+from repro.xyce.parser import NetlistError, parse_netlist, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "tok,expected",
+        [
+            ("1k", 1e3), ("2.2u", 2.2e-6), ("1meg", 1e6), ("100n", 1e-7),
+            ("5", 5.0), ("3.3", 3.3), ("-2m", -2e-3), ("1e-9", 1e-9),
+            ("1.5p", 1.5e-12), ("2f", 2e-15), ("4.7kohm", 4.7e3), ("10v", 10.0),
+        ],
+    )
+    def test_suffixes(self, tok, expected):
+        assert parse_value(tok) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_value("k1")
+
+
+class TestParser:
+    def test_rc_divider_dc(self):
+        deck = parse_netlist(
+            """
+            * resistive divider
+            V1 in 0 DC 10
+            R1 in out 1k
+            R2 out 0 1k
+            .end
+            """
+        )
+        x = dc_operating_point(deck.circuit)
+        assert x[deck.node("out") - 1] == pytest.approx(5.0)
+
+    def test_tran_directive_and_pulse(self):
+        deck = parse_netlist(
+            """
+            V1 1 0 PULSE(0 5 0 1u 1u 100u 200u)
+            R1 1 2 1k
+            C1 2 0 1n
+            .tran 1u 50u
+            .end
+            """
+        )
+        assert deck.tran == (pytest.approx(1e-6), pytest.approx(5e-5))
+        res = run_transient(deck.circuit, t_end=deck.tran[1], dt=deck.tran[0])
+        assert res.converged
+        # The RC output follows the pulse up toward 5 V.
+        assert 3.0 < res.states[-1][deck.node("2") - 1] <= 5.01
+
+    def test_sin_source(self):
+        deck = parse_netlist("V1 a 0 SIN(0 2 1000)\nR1 a 0 1k\n.end")
+        v = deck.device_names["v1"]
+        assert v.waveform(0.0) == pytest.approx(0.0)
+        assert v.waveform(0.00025) == pytest.approx(2.0, rel=1e-6)
+
+    def test_pwl_source(self):
+        deck = parse_netlist("I1 0 a PWL(0 0 1m 2m)\nR1 a 0 1k\n.end")
+        i = deck.device_names["i1"]
+        assert i.waveform(0.5e-3) == pytest.approx(1e-3)
+
+    def test_continuation_and_comments(self):
+        deck = parse_netlist(
+            "* title comment\nR1 a b 1k ; trailing comment\n+ \nV1 a 0 DC\n+ 5\n.end"
+        )
+        assert deck.device_names["r1"].r == pytest.approx(1e3)
+        assert deck.device_names["v1"].waveform(0) == 5.0
+
+    def test_named_nodes(self):
+        deck = parse_netlist("R1 vdd out 1k\nR2 out gnd 2k\nV1 vdd 0 DC 3\n.end")
+        assert set(deck.node_names) == {"vdd", "out"}
+        x = dc_operating_point(deck.circuit)
+        assert x[deck.node("out") - 1] == pytest.approx(2.0)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Q1 1 2 3 model\n.end")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 1 0 1k\n.ac dec 10 1 1k\n.end")
+
+    def test_dangling_control_reference(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 1 0 1k\nF1 1 0 VX 2\n.end")
+
+
+class TestControlledSources:
+    def test_vcvs_gain(self):
+        deck = parse_netlist(
+            """
+            V1 in 0 DC 1
+            R1 in 0 1k
+            E1 out 0 in 0 5
+            R2 out 0 1k
+            .end
+            """
+        )
+        x = dc_operating_point(deck.circuit)
+        assert x[deck.node("out") - 1] == pytest.approx(5.0)
+
+    def test_cccs_mirrors_current(self):
+        # V1 drives 1 mA through R1; F1 copies 2x that into R2.
+        deck = parse_netlist(
+            """
+            V1 a 0 DC 1
+            R1 a 0 1k
+            F1 0 b V1 2
+            R2 b 0 1k
+            .end
+            """
+        )
+        x = dc_operating_point(deck.circuit)
+        # i(V1) = -1 mA (source convention); F injects 2*i into node b.
+        assert abs(x[deck.node("b") - 1]) == pytest.approx(2.0, rel=1e-9)
+
+    def test_ccvs(self):
+        deck = parse_netlist(
+            """
+            V1 a 0 DC 1
+            R1 a 0 500
+            H1 out 0 V1 250
+            R2 out 0 1k
+            .end
+            """
+        )
+        x = dc_operating_point(deck.circuit)
+        # i(V1) = -2 mA; V(out) = 250 * i = -0.5 V.
+        assert abs(x[deck.node("out") - 1]) == pytest.approx(0.5, rel=1e-9)
+
+
+class TestMOSFET:
+    def test_saturation_current(self):
+        """Square law: ids ~ k/2 (vgs-vt)^2 at vds >> vov."""
+        ckt = Circuit(n_nodes=3)
+        ckt.add(VSource(1, 0, lambda t: 5.0))   # drain supply
+        ckt.add(VSource(2, 0, lambda t: 1.7))   # gate
+        ckt.add(Resistor(1, 3, 1e3))            # drain resistor
+        ckt.add(MOSFET(3, 2, 0, k=2e-4, vt=0.7, lam=0.0))
+        x = dc_operating_point(ckt)
+        v_drain = x[2]
+        ids = (5.0 - v_drain) / 1e3
+        assert ids == pytest.approx(0.5 * 2e-4 * (1.7 - 0.7) ** 2, rel=1e-3)
+
+    def test_cutoff(self):
+        ckt = Circuit(n_nodes=3)
+        ckt.add(VSource(1, 0, lambda t: 5.0))
+        ckt.add(VSource(2, 0, lambda t: 0.2))   # below vt
+        ckt.add(Resistor(1, 3, 1e3))
+        ckt.add(MOSFET(3, 2, 0))
+        x = dc_operating_point(ckt)
+        assert x[2] == pytest.approx(5.0, abs=1e-3)  # no current drawn
+
+    def test_inverter_transfer(self):
+        """NMOS inverter: high gate -> low output."""
+        deck = parse_netlist(
+            """
+            V1 vdd 0 DC 5
+            Vg g 0 DC 5
+            R1 vdd out 10k
+            M1 out g 0 k=1m vt=0.7
+            .end
+            """
+        )
+        x = dc_operating_point(deck.circuit)
+        assert x[deck.node("out") - 1] < 0.5
+
+    def test_pattern_constant_through_transient(self):
+        deck = parse_netlist(
+            """
+            V1 vdd 0 DC 5
+            Vg g 0 SIN(2 2 2000)
+            R1 vdd out 10k
+            M1 out g 0 k=1m vt=0.7
+            C1 out 0 1n
+            .end
+            """
+        )
+        res = run_transient(deck.circuit, t_end=1e-3, dt=1e-5)
+        assert res.converged
+        for A in res.matrices[1:]:
+            assert A.same_pattern(res.matrices[0])

@@ -1,0 +1,82 @@
+"""Tests for KLU-style row equilibration."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import KLU
+from repro.solvers.extras import solve_transpose
+from repro.sparse import CSC, solve_residual
+
+from .helpers import random_sparse
+
+
+def _badly_scaled(n, rng, span=6):
+    A = random_sparse(n, n, 0.15, rng, ensure_diag=True, diag_boost=5.0)
+    d = A.to_dense() * (10.0 ** rng.integers(-span, span, size=n))[:, None]
+    return CSC.from_dense(d)
+
+
+class TestRowScaling:
+    @pytest.mark.parametrize("scale", ["max", "sum"])
+    def test_solve_correct_under_scaling(self, scale):
+        rng = np.random.default_rng(0)
+        A = _badly_scaled(40, rng)
+        klu = KLU(scale=scale)
+        num = klu.factor(A)
+        b = rng.standard_normal(40)
+        assert solve_residual(A, klu.solve(num, b), b) < 1e-12
+
+    def test_max_scaling_normalizes_rows(self):
+        rng = np.random.default_rng(1)
+        A = _badly_scaled(30, rng)
+        klu = KLU(scale="max")
+        num = klu.factor(A)
+        # The scaled, permuted matrix M has max-row magnitude 1.
+        Mt = num.M.transpose()  # rows as columns
+        for i in range(30):
+            _, vals = Mt.col(i)
+            assert np.max(np.abs(vals)) == pytest.approx(1.0)
+
+    def test_transpose_solve_under_scaling(self):
+        rng = np.random.default_rng(2)
+        A = _badly_scaled(30, rng)
+        klu = KLU(scale="max")
+        num = klu.factor(A)
+        b = rng.standard_normal(30)
+        x = solve_transpose(num, b)
+        assert np.max(np.abs(A.to_dense().T @ x - b)) < 1e-8
+
+    def test_scaling_improves_transpose_accuracy(self):
+        """The motivating property: equilibration tames badly scaled rows."""
+        rng = np.random.default_rng(3)
+        A = _badly_scaled(50, rng, span=7)
+        b = rng.standard_normal(50)
+        errs = {}
+        for scale in (None, "max"):
+            klu = KLU(scale=scale)
+            num = klu.factor(A)
+            x = solve_transpose(num, b)
+            errs[scale] = float(np.max(np.abs(A.to_dense().T @ x - b)))
+        assert errs["max"] <= errs[None] * 10  # never much worse, usually far better
+
+    def test_refactor_keeps_scaling(self):
+        rng = np.random.default_rng(4)
+        A = _badly_scaled(25, rng)
+        klu = KLU(scale="sum")
+        num = klu.factor(A)
+        A2 = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(), A.data * 3.0)
+        num2 = klu.refactor(A2, num)
+        b = rng.standard_normal(25)
+        assert solve_residual(A2, klu.solve(num2, b), b) < 1e-12
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            KLU(scale="rows")
+
+    def test_empty_row_guard(self):
+        # A structurally singular matrix with an empty row must not
+        # divide by zero during scaling (factorization itself raises).
+        A = CSC.from_coo([0, 0], [0, 1], [1.0, 2.0], (2, 2))
+        klu = KLU(scale="max")
+        r = klu._row_scale(A)
+        assert np.all(np.isfinite(r))

@@ -1,0 +1,120 @@
+"""Tests for the structured-construction utilities, with SciPy oracles."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import CSC
+from repro.sparse.build import block_diag, diags, hstack, kron, random_like, vstack
+
+from .helpers import random_sparse, to_scipy
+
+
+class TestStack:
+    def test_hstack_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        ms = [random_sparse(5, int(rng.integers(1, 6)), 0.4, rng) for _ in range(3)]
+        got = hstack(ms)
+        got.check()
+        ref = sp.hstack([to_scipy(m) for m in ms]).toarray()
+        assert np.allclose(got.to_dense(), ref)
+
+    def test_vstack_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        ms = [random_sparse(int(rng.integers(1, 6)), 4, 0.4, rng) for _ in range(3)]
+        got = vstack(ms)
+        got.check()
+        ref = sp.vstack([to_scipy(m) for m in ms]).toarray()
+        assert np.allclose(got.to_dense(), ref)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hstack([CSC.identity(2), CSC.identity(3)])
+        with pytest.raises(ValueError):
+            vstack([CSC.identity(2), CSC.identity(3)])
+        with pytest.raises(ValueError):
+            hstack([])
+
+    def test_block_diag(self):
+        rng = np.random.default_rng(2)
+        ms = [random_sparse(3, 2, 0.5, rng), random_sparse(2, 4, 0.5, rng)]
+        got = block_diag(ms)
+        ref = sp.block_diag([to_scipy(m) for m in ms]).toarray()
+        assert np.allclose(got.to_dense(), ref)
+
+
+class TestKron:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        A = random_sparse(3, 4, 0.5, rng)
+        B = random_sparse(2, 3, 0.5, rng)
+        got = kron(A, B)
+        got.check()
+        ref = sp.kron(to_scipy(A), to_scipy(B)).toarray()
+        assert np.allclose(got.to_dense(), ref)
+
+    def test_grid_from_kron(self):
+        """The classic construction: laplacian2d = kron(I,T) + kron(T,I)."""
+        m = 5
+        T = diags(np.full(m, 2.0)) \
+            .add(diags(np.full(m - 1, -1.0), 1)) \
+            .add(diags(np.full(m - 1, -1.0), -1))
+        I = CSC.identity(m)
+        L2 = kron(I, T).add(kron(T, I))
+        ref = sp.kronsum(to_scipy(T), to_scipy(T)).toarray()
+        assert np.allclose(L2.to_dense(), ref)
+
+    def test_empty_factor(self):
+        got = kron(CSC.empty(2, 2), CSC.identity(3))
+        assert got.shape == (6, 6) and got.nnz == 0
+
+
+class TestDiags:
+    def test_main_diagonal(self):
+        D = diags(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(D.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_offsets(self):
+        up = diags(np.array([1.0, 1.0]), offset=1)
+        dn = diags(np.array([1.0, 1.0]), offset=-1)
+        assert np.allclose(up.to_dense(), np.eye(3, k=1))
+        assert np.allclose(dn.to_dense(), np.eye(3, k=-1))
+
+    def test_explicit_shape_clips(self):
+        D = diags(np.array([1.0, 2.0, 3.0]), offset=0, shape=(2, 2))
+        assert np.allclose(D.to_dense(), np.diag([1.0, 2.0]))
+
+
+class TestRandomLike:
+    def test_same_pattern_new_values(self):
+        rng = np.random.default_rng(4)
+        A = random_sparse(6, 6, 0.4, rng)
+        B = random_like(A, rng)
+        assert B.same_pattern(A)
+        assert not np.array_equal(B.data, A.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 6), m=st.integers(1, 6), p=st.integers(1, 5),
+    q=st.integers(1, 5), seed=st.integers(0, 9999),
+)
+def test_property_kron_matches_scipy(n, m, p, q, seed):
+    rng = np.random.default_rng(seed)
+    A = random_sparse(n, m, 0.5, rng)
+    B = random_sparse(p, q, 0.5, rng)
+    got = kron(A, B).to_dense()
+    ref = sp.kron(to_scipy(A), to_scipy(B)).toarray()
+    assert np.allclose(got, ref)
+
+
+@settings(max_examples=25, deadline=None)
+@given(k=st.integers(1, 4), seed=st.integers(0, 9999))
+def test_property_block_diag_roundtrip(k, seed):
+    rng = np.random.default_rng(seed)
+    ms = [random_sparse(int(rng.integers(1, 5)), int(rng.integers(1, 5)), 0.5, rng)
+          for _ in range(k)]
+    got = block_diag(ms)
+    ref = sp.block_diag([to_scipy(m) for m in ms]).toarray()
+    assert np.allclose(got.to_dense(), ref)

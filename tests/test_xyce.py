@@ -1,0 +1,118 @@
+"""Tests for the mini circuit simulator (devices, MNA, transient)."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import btf
+from repro.sparse import CSC
+from repro.xyce import (
+    Capacitor,
+    Circuit,
+    Diode,
+    ISource,
+    Resistor,
+    VCCS,
+    VSource,
+    diode_clipper_bank,
+    matrix_sequence,
+    rc_ladder,
+    run_transient,
+    xyce1_analog,
+)
+
+
+class TestMNAAssembly:
+    def test_resistor_divider_dc(self):
+        """V source 10V through two equal resistors: midpoint at 5V."""
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 10.0))
+        ckt.add(Resistor(1, 2, 1000.0))
+        ckt.add(Resistor(2, 0, 1000.0))
+        res = run_transient(ckt, t_end=1e-6, dt=1e-6)
+        v_mid = res.states[-1][1]
+        assert v_mid == pytest.approx(5.0, abs=1e-6)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit(n_nodes=1)
+        ckt.add(ISource(0, 1, lambda t: 1e-3))  # 1 mA into node 1
+        ckt.add(Resistor(1, 0, 2000.0))
+        res = run_transient(ckt, t_end=1e-6, dt=1e-6)
+        assert res.states[-1][0] == pytest.approx(2.0, rel=1e-9)
+
+    def test_vccs_is_unsymmetric(self):
+        ckt = Circuit(n_nodes=3)
+        ckt.add(Resistor(1, 0, 1.0))
+        ckt.add(Resistor(2, 0, 1.0))
+        ckt.add(Resistor(3, 0, 1.0))
+        ckt.add(VCCS(0, 3, 1, 0, gm=0.5))
+        A = ckt.dc_pattern()
+        d = A.to_dense()
+        assert d[2, 0] != 0.0 and d[0, 2] == 0.0  # one-way coupling
+
+    def test_jacobian_pattern_constant_across_newton(self):
+        ckt = diode_clipper_bank(3)
+        res = run_transient(ckt, t_end=2e-4, dt=2e-5)
+        A0 = res.matrices[0]
+        for A in res.matrices[1:]:
+            assert A.same_pattern(A0)
+
+    def test_ground_only_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(n_nodes=0)
+
+
+class TestTransientPhysics:
+    def test_rc_charging_curve(self):
+        """Single RC: v(t) = V (1 - exp(-t/RC)) under a DC source."""
+        ckt = Circuit(n_nodes=2)
+        r, c, v = 1e3, 1e-6, 1.0
+        ckt.add(VSource(1, 0, lambda t: v))
+        ckt.add(Resistor(1, 2, r))
+        ckt.add(Capacitor(2, 0, c))
+        tau = r * c
+        res = run_transient(ckt, t_end=3 * tau, dt=tau / 200)
+        t = res.times
+        v_cap = res.states[:, 1]
+        expected = v * (1 - np.exp(-t / tau))
+        assert np.max(np.abs(v_cap - expected)) < 0.01  # backward Euler error
+
+    def test_diode_clips_voltage(self):
+        """A diode across the output holds it near the forward drop."""
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 5.0))
+        ckt.add(Resistor(1, 2, 1e3))
+        ckt.add(Diode(2, 0))
+        res = run_transient(ckt, t_end=1e-5, dt=1e-6)
+        v_out = res.states[-1][1]
+        assert 0.3 < v_out < 1.2  # a diode drop, not 5 V
+
+    def test_rc_ladder_converges(self):
+        res = run_transient(rc_ladder(12), t_end=1e-3, dt=2e-5)
+        assert res.converged
+
+    def test_clipper_bank_converges(self):
+        res = run_transient(diode_clipper_bank(5), t_end=2e-4, dt=1e-5)
+        assert res.converged
+
+
+class TestMatrixSequence:
+    def test_sequence_length_and_pattern(self):
+        ckt = xyce1_analog(n_core=30, n_subckts=6)
+        seq = matrix_sequence(ckt, n_matrices=25)
+        assert len(seq) == 25
+        for A in seq[1:]:
+            assert A.same_pattern(seq[0])
+
+    def test_sequence_values_differ(self):
+        ckt = diode_clipper_bank(4)
+        seq = matrix_sequence(ckt, n_matrices=20, dt=2e-5)
+        deltas = [float(np.max(np.abs(seq[0].data - A.data))) for A in seq[1:]]
+        assert max(deltas) > 0.0
+
+    def test_xyce1_analog_has_btf_structure(self):
+        ckt = xyce1_analog(n_core=40, n_subckts=12)
+        A = ckt.dc_pattern()
+        res = btf(A)
+        # One big core block plus a block per (or more) subcircuit.
+        assert res.n_blocks > 12
+        assert res.largest_block >= 0.8 * 40  # most of the core is one SCC

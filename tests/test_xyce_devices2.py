@@ -1,0 +1,234 @@
+"""Tests for the extended device set: inductors, waveforms, DC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.xyce import (
+    Capacitor,
+    Circuit,
+    Diode,
+    Inductor,
+    ISource,
+    Resistor,
+    VSource,
+    dc_operating_point,
+    pulse,
+    pwl,
+    run_transient,
+)
+
+
+class TestWaveforms:
+    def test_pulse_levels(self):
+        w = pulse(v0=0.0, v1=5.0, delay=1e-6, rise=1e-7, fall=1e-7, width=1e-6, period=4e-6)
+        assert w(0.0) == 0.0                      # before delay
+        assert w(1e-6 + 5e-8) == pytest.approx(2.5)  # mid-rise
+        assert w(1.5e-6) == 5.0                   # on the plateau
+        assert w(3e-6) == 0.0                     # back at v0
+        assert w(1.5e-6 + 4e-6) == 5.0            # periodic
+
+    def test_pwl_interpolation(self):
+        w = pwl([(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)])
+        assert w(-1.0) == 0.0
+        assert w(0.5) == pytest.approx(1.0)
+        assert w(2.0) == pytest.approx(0.0)
+        assert w(10.0) == -2.0
+
+    def test_pwl_validation(self):
+        with pytest.raises(ValueError):
+            pwl([])
+        with pytest.raises(ValueError):
+            pwl([(0.0, 1.0), (0.0, 2.0)])
+
+
+class TestInductor:
+    def test_dc_short(self):
+        """At DC an inductor is a short: the full drop is across R."""
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 10.0))
+        ckt.add(Resistor(1, 2, 1000.0))
+        ckt.add(Inductor(2, 0, 1e-3))
+        x = dc_operating_point(ckt)
+        assert x[1] == pytest.approx(0.0, abs=1e-9)        # v2
+        i_l = x[3]
+        assert i_l == pytest.approx(0.01, rel=1e-9)        # 10 V / 1 kOhm
+
+    def test_rl_charging_curve(self):
+        """i(t) = (V/R)(1 - exp(-t R/L)) under a DC step."""
+        r, l, v = 10.0, 1e-3, 1.0
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: v))
+        ckt.add(Resistor(1, 2, r))
+        ckt.add(Inductor(2, 0, l))
+        tau = l / r
+        res = run_transient(ckt, t_end=3 * tau, dt=tau / 300)
+        i_l = res.states[:, 3]
+        expected = (v / r) * (1 - np.exp(-res.times / tau))
+        assert np.max(np.abs(i_l - expected)) < 0.01 * v / r
+
+    def test_branch_indices_unique(self):
+        ckt = Circuit(n_nodes=3)
+        v = VSource(1, 0, lambda t: 1.0)
+        l1 = Inductor(1, 2, 1e-3)
+        l2 = Inductor(2, 3, 1e-3)
+        ckt.add(v).add(l1).add(l2)
+        assert {v.branch_index, l1.branch_index, l2.branch_index} == {3, 4, 5}
+        assert ckt.n_unknowns == 6
+
+
+class TestDCOperatingPoint:
+    def test_capacitor_is_open(self):
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 4.0))
+        ckt.add(Resistor(1, 2, 1e3))
+        ckt.add(Capacitor(2, 0, 1e-6))
+        ckt.add(Resistor(2, 0, 3e3))
+        x = dc_operating_point(ckt)
+        assert x[1] == pytest.approx(3.0, rel=1e-9)  # divider, cap open
+
+    def test_nonlinear_op(self):
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 5.0))
+        ckt.add(Resistor(1, 2, 1e3))
+        ckt.add(Diode(2, 0))
+        x = dc_operating_point(ckt)
+        assert 0.3 < x[1] < 1.2  # a forward diode drop
+
+    def test_nonconvergence_raises(self):
+        ckt = Circuit(n_nodes=1)
+        # Current source into a diode pointing the wrong way with no
+        # DC path: no consistent operating point at this current.
+        ckt.add(ISource(0, 1, lambda t: 1.0))
+        ckt.add(Diode(1, 0, i_s=1e-15))
+        with pytest.raises(RuntimeError):
+            dc_operating_point(ckt, max_newton=8)
+
+
+class TestRLCResonance:
+    def test_lc_oscillation_period(self):
+        """A pulsed series RLC rings near f = 1/(2 pi sqrt(LC))."""
+        l, c, r = 1e-3, 1e-6, 2.0
+        ckt = Circuit(n_nodes=3)
+        ckt.add(VSource(1, 0, pulse(0, 1, 0, 1e-7, 1e-7, 1.0, 2.0)))
+        ckt.add(Resistor(1, 2, r))
+        ckt.add(Inductor(2, 3, l))
+        ckt.add(Capacitor(3, 0, c))
+        f0 = 1 / (2 * np.pi * np.sqrt(l * c))
+        res = run_transient(ckt, t_end=3 / f0, dt=1 / (200 * f0))
+        v_c = res.states[:, 2]
+        # Count zero crossings of (v_c - steady state) in the window.
+        sig = v_c - v_c[-1]
+        crossings = np.sum(np.diff(np.sign(sig[20:])) != 0)
+        periods = crossings / 2
+        measured_f = periods / (res.times[-1] - res.times[20])
+        assert measured_f == pytest.approx(f0, rel=0.15)
+
+
+class TestAdaptiveTransient:
+    def test_matches_fixed_step_physics(self):
+        """Adaptive RC charge matches the analytic curve."""
+        from repro.xyce import run_transient_adaptive
+
+        r, c, v = 1e3, 1e-6, 1.0
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: v))
+        ckt.add(Resistor(1, 2, r))
+        ckt.add(Capacitor(2, 0, c))
+        tau = r * c
+        res = run_transient_adaptive(ckt, t_end=3 * tau, dt0=tau / 100)
+        expected = v * (1 - np.exp(-res.times / tau))
+        assert res.converged
+        assert np.max(np.abs(res.states[:, 1] - expected)) < 0.05
+
+    def test_step_grows_on_smooth_problem(self):
+        from repro.xyce import run_transient_adaptive
+
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 1.0))
+        ckt.add(Resistor(1, 2, 1e3))
+        ckt.add(Capacitor(2, 0, 1e-6))
+        res = run_transient_adaptive(ckt, t_end=1e-2, dt0=1e-5)
+        steps = np.diff(res.times)
+        assert steps.max() > 4 * steps.min()  # controller actually grew dt
+
+    def test_fewer_steps_than_fixed_on_smooth_problem(self):
+        """Where the solution is smooth, the controller takes fewer steps."""
+        from repro.xyce import run_transient, run_transient_adaptive
+
+        def build():
+            ckt = Circuit(n_nodes=2)
+            ckt.add(VSource(1, 0, lambda t: 1.0))
+            ckt.add(Resistor(1, 2, 1e3))
+            ckt.add(Capacitor(2, 0, 1e-6))
+            return ckt
+
+        fixed = run_transient(build(), t_end=5e-3, dt=1e-5)
+        adaptive = run_transient_adaptive(build(), t_end=5e-3, dt0=1e-5)
+        assert adaptive.converged
+        assert len(adaptive.times) < 0.5 * len(fixed.times)
+
+    def test_nonlinear_circuit_still_converges(self):
+        from repro.xyce import diode_clipper_bank, run_transient_adaptive
+
+        res = run_transient_adaptive(diode_clipper_bank(2), t_end=3e-4, dt0=5e-6)
+        assert res.converged
+
+
+class TestTrapezoidalIntegration:
+    def _rc(self):
+        r, c, v = 1e3, 1e-6, 1.0
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: v))
+        ckt.add(Resistor(1, 2, r))
+        ckt.add(Capacitor(2, 0, c))
+        return ckt, r * c
+
+    def test_second_order_accuracy(self):
+        """Halving dt should shrink trap's error ~4x (vs ~2x for BE)."""
+        errs = {}
+        for frac in (20, 40):
+            ckt, tau = self._rc()
+            res = run_transient(ckt, t_end=2 * tau, dt=tau / frac, method="trap")
+            expected = 1.0 * (1 - np.exp(-res.times / tau))
+            errs[frac] = float(np.max(np.abs(res.states[:, 1] - expected)))
+        assert errs[20] / errs[40] > 3.0  # ~4 for a 2nd-order method
+
+    def test_beats_backward_euler(self):
+        ckt, tau = self._rc()
+        res_be = run_transient(ckt, t_end=2 * tau, dt=tau / 25, method="be")
+        ckt2, _ = self._rc()
+        res_tr = run_transient(ckt2, t_end=2 * tau, dt=tau / 25, method="trap")
+        expected = lambda ts: 1.0 * (1 - np.exp(-ts / tau))
+        err_be = np.max(np.abs(res_be.states[:, 1] - expected(res_be.times)))
+        err_tr = np.max(np.abs(res_tr.states[:, 1] - expected(res_tr.times)))
+        assert err_tr < 0.5 * err_be
+
+    def test_inductor_under_trap(self):
+        ckt = Circuit(n_nodes=2)
+        ckt.add(VSource(1, 0, lambda t: 1.0))
+        ckt.add(Resistor(1, 2, 10.0))
+        ckt.add(Inductor(2, 0, 1e-3))
+        res = run_transient(ckt, t_end=3e-4, dt=1e-6, method="trap")
+        expected = 0.1 * (1 - np.exp(-res.times / 1e-4))
+        assert np.max(np.abs(res.states[:, 3] - expected)) < 1e-4
+
+    def test_pattern_identical_between_methods(self):
+        """Both integrators stamp the same Jacobian pattern (symbolic
+        reuse works across a method switch)."""
+        ckt, tau = self._rc()
+        x = np.zeros(ckt.n_unknowns)
+        J_be, _ = ckt.assemble(x, x, 0.0, tau / 10, method="be")
+        J_tr, _ = ckt.assemble(x, x, 0.0, tau / 10, method="trap", state={})
+        assert J_be.same_pattern(J_tr)
+
+    def test_bad_method_rejected(self):
+        ckt, tau = self._rc()
+        x = np.zeros(ckt.n_unknowns)
+        with pytest.raises(ValueError):
+            ckt.assemble(x, x, 0.0, 1e-6, method="rk4")
+
+    def test_nonlinear_circuit_with_trap(self):
+        from repro.xyce import diode_clipper_bank
+
+        res = run_transient(diode_clipper_bank(2), t_end=2e-4, dt=5e-6, method="trap")
+        assert res.converged
