@@ -19,7 +19,7 @@ paper-versus-measured record of every table and figure.
 
 from .core import Basker, BaskerNumeric
 from .interface import DirectSolver, available_solvers
-from .errors import SingularMatrixError, StructureError
+from .errors import ReproError, SingularMatrixError, StructureError, TaskGraphError
 from .parallel import CostLedger, MachineModel, SANDY_BRIDGE, XEON_PHI, Schedule
 from .solvers import KLU, SolverFailure, SupernodalLU, gp_factor, slu_mt
 from .sparse import CSC, BlockMatrix, factorization_residual, solve_residual
@@ -42,8 +42,10 @@ __all__ = [
     "SANDY_BRIDGE",
     "XEON_PHI",
     "Schedule",
+    "ReproError",
     "SingularMatrixError",
     "StructureError",
+    "TaskGraphError",
     "SolverFailure",
     "factorization_residual",
     "solve_residual",

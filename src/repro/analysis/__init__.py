@@ -1,0 +1,41 @@
+"""Static verification layer for the Basker reproduction.
+
+Basker's headline claim — point-to-point synchronization over the ND
+dependency tree is *sufficient*, no barriers needed — is a correctness
+claim about the task DAG: every pair of conflicting block accesses must
+be ordered by the declared dependencies (plus each thread's static
+program order).  This package turns that claim into checkable
+machinery:
+
+* :mod:`repro.analysis.hazards` — happens-before race detector over
+  the declared read/write sets of every :class:`~repro.parallel.sim.SimTask`,
+  plus dependency-cycle (deadlock) and dangling-dependency detection;
+* :mod:`repro.analysis.conservation` — verifies no work is dropped or
+  double counted (sum of per-task ledgers + declared overhead equals
+  the whole-factorization ledger) and that a simulated
+  :class:`~repro.parallel.sim.Schedule` is self-consistent;
+* :mod:`repro.analysis.lint` — AST lint enforcing the repo's
+  cost-model discipline (no wall clocks in kernels, ledgers flow
+  through parameters, no bare ``except``, no mutable defaults).
+
+All three are exposed as ``python -m repro analyze
+{hazards,conservation,lint}`` and run in CI.
+"""
+
+from .conservation import ConservationReport, check_conservation, check_schedule
+from .hazards import Hazard, HazardReport, check_hazards, happens_before
+from .lint import LintFinding, lint_paths, lint_source, lint_tree
+
+__all__ = [
+    "Hazard",
+    "HazardReport",
+    "check_hazards",
+    "happens_before",
+    "ConservationReport",
+    "check_conservation",
+    "check_schedule",
+    "LintFinding",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+]

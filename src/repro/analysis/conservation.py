@@ -1,0 +1,150 @@
+"""Ledger-conservation and schedule-consistency checks.
+
+The performance model's integrity rests on two invariants that used to
+live in comments:
+
+1. **Work conservation.**  Every operation a kernel performs is counted
+   into exactly one task's :class:`~repro.parallel.ledger.CostLedger`
+   (or into the explicitly declared non-task *overhead*: input block
+   scatter and final factor assembly).  So, field by field::
+
+       sum(task.ledger for task in tasks) + overhead == whole ledger
+
+   A deficit means work was dropped from the simulation (optimistic
+   makespan); an excess means it was double counted (pessimistic).
+
+2. **Schedule consistency.**  A :class:`~repro.parallel.sim.Schedule`
+   replayed from the DAG must satisfy: no task starts before every
+   dependency has ended, tasks mapped to one thread never overlap,
+   pinned tasks run on their pinned thread, and the makespan is the
+   max end time.
+
+:func:`check_conservation` verifies (1), :func:`check_schedule`
+verifies (2); both return a :class:`ConservationReport` of findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Dict, List, Optional, Sequence
+
+from ..parallel.ledger import CostLedger
+from ..parallel.sim import Schedule, SimTask
+
+__all__ = ["ConservationReport", "check_conservation", "check_schedule"]
+
+
+@dataclass
+class ConservationReport:
+    """Findings from the conservation / schedule checks."""
+
+    n_tasks: int
+    findings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        head = f"{self.n_tasks} tasks: " + ("OK" if self.ok else f"{len(self.findings)} finding(s)")
+        return "\n".join([head] + [f"  {f}" for f in self.findings])
+
+
+def check_conservation(
+    tasks: Sequence[SimTask],
+    total: CostLedger,
+    overhead: Optional[CostLedger] = None,
+    rtol: float = 1e-6,
+) -> ConservationReport:
+    """Verify sum(per-task ledgers) + overhead == total, per field.
+
+    ``rtol`` absorbs the floating-point apportionment of chunked tasks
+    (a logical task's ledger is split across column chunks by realized
+    nnz weights that sum to 1 only up to rounding).
+    """
+    report = ConservationReport(n_tasks=len(tasks))
+    acc = CostLedger()
+    for t in tasks:
+        acc.add(t.ledger)
+    if overhead is not None:
+        acc.add(overhead)
+    for f in dc_fields(CostLedger):
+        got = getattr(acc, f.name)
+        want = getattr(total, f.name)
+        tol = rtol * max(1.0, abs(want))
+        if abs(got - want) > tol:
+            verb = "dropped from" if got < want else "double counted in"
+            report.findings.append(
+                f"ledger field '{f.name}': tasks+overhead sum to {got:.6g} "
+                f"but the whole-factorization ledger says {want:.6g} — "
+                f"work {verb} the task DAG"
+            )
+    return report
+
+
+def check_schedule(
+    tasks: Sequence[SimTask],
+    schedule: Schedule,
+    eps: float = 1e-12,
+) -> ConservationReport:
+    """Verify a simulated schedule against the DAG it replayed."""
+    report = ConservationReport(n_tasks=len(tasks))
+    by_id: Dict[int, SimTask] = {t.tid: t for t in tasks}
+
+    for t in tasks:
+        if t.tid not in schedule.start or t.tid not in schedule.end:
+            report.findings.append(f"task {t.tid} ({t.label}) missing from the schedule")
+    for tid in schedule.start:
+        if tid not in by_id:
+            report.findings.append(f"schedule contains unknown task id {tid}")
+    if report.findings:
+        return report
+
+    for t in tasks:
+        s, e = schedule.start[t.tid], schedule.end[t.tid]
+        if e < s - eps:
+            report.findings.append(
+                f"task {t.tid} ({t.label}) ends before it starts: [{s}, {e}]"
+            )
+        th = schedule.thread_of.get(t.tid)
+        if t.thread is not None and th != t.thread:
+            report.findings.append(
+                f"task {t.tid} ({t.label}) pinned to thread {t.thread} "
+                f"but scheduled on {th}"
+            )
+        for d in t.deps:
+            if d in schedule.end and schedule.end[d] > s + eps:
+                dl = by_id[d].label if d in by_id else ""
+                report.findings.append(
+                    f"task {t.tid} ({t.label}) starts at {s:.6g} before "
+                    f"dependency {d} ({dl}) ends at {schedule.end[d]:.6g}"
+                )
+
+    by_thread: Dict[int, List[int]] = {}
+    for tid, th in schedule.thread_of.items():
+        by_thread.setdefault(th, []).append(tid)
+    for th, tids in sorted(by_thread.items()):
+        if not (0 <= th < schedule.n_threads):
+            report.findings.append(f"schedule uses thread {th} outside 0..{schedule.n_threads - 1}")
+            continue
+        tids.sort(key=lambda t: (schedule.start[t], schedule.end[t]))
+        for a, b in zip(tids, tids[1:]):
+            if schedule.end[a] > schedule.start[b] + eps:
+                report.findings.append(
+                    f"thread {th}: tasks {a} ({by_id[a].label}) and {b} "
+                    f"({by_id[b].label}) overlap in time "
+                    f"([{schedule.start[a]:.6g},{schedule.end[a]:.6g}] vs "
+                    f"[{schedule.start[b]:.6g},{schedule.end[b]:.6g}])"
+                )
+
+    max_end = max(schedule.end.values(), default=0.0)
+    if abs(schedule.makespan - max_end) > eps + 1e-9 * max(1.0, max_end):
+        report.findings.append(
+            f"makespan {schedule.makespan:.6g} != max task end {max_end:.6g}"
+        )
+    if len(schedule.busy) != schedule.n_threads:
+        report.findings.append(
+            f"busy vector has {len(schedule.busy)} entries for "
+            f"{schedule.n_threads} threads"
+        )
+    return report

@@ -1,0 +1,217 @@
+"""Custom AST lint enforcing the repo's cost-model discipline.
+
+The reproduction's central contract is that *all* cost flows through
+:class:`~repro.parallel.ledger.CostLedger` — never wall clocks — and
+that counted work is never silently dropped.  Four rules:
+
+* **R1** — no wall-clock calls (``time.time``, ``time.perf_counter``,
+  ``time.monotonic``, ``time.process_time``, ``time.thread_time``)
+  inside the kernel packages ``core/``, ``solvers/``, ``sparse/``.
+  Importing those names from ``time`` there is equally flagged.
+* **R2** — a kernel function that increments ledger counters
+  (``x.sparse_flops += ...`` etc.) must receive the ledger through a
+  parameter named ``ledger``, or the ledger object must escape the
+  function (be returned, passed to a call, or attached to a result).
+  A ledger that is created, incremented and never observed is work
+  silently dropped from the performance model.
+* **R3** — no bare ``except:`` anywhere in the package.
+* **R4** — no mutable default arguments (``[]``, ``{}``, ``set()``,
+  ``list()``, ``dict()``) anywhere in the package.
+
+Findings are reported as ``path:line CODE message``; the CLI exits
+nonzero when any are found, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["LintFinding", "lint_source", "lint_paths", "lint_tree", "KERNEL_DIRS"]
+
+KERNEL_DIRS = ("core", "solvers", "sparse")
+_WALL_CLOCKS = {"time", "perf_counter", "monotonic", "process_time", "thread_time", "clock"}
+_COUNTERS = {"sparse_flops", "dense_flops", "dfs_steps", "mem_words", "columns"}
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+@dataclass
+class LintFinding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+
+def _is_kernel_module(relpath: str) -> bool:
+    parts = relpath.replace(os.sep, "/").split("/")
+    return any(p in parts[:-1] for p in KERNEL_DIRS)
+
+
+def _check_wall_clocks(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "time" and node.attr in _WALL_CLOCKS:
+                out.append(LintFinding(
+                    path, node.lineno, "R1",
+                    f"wall-clock call time.{node.attr} in a kernel module — "
+                    "cost must flow through CostLedger",
+                ))
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCKS:
+                    out.append(LintFinding(
+                        path, node.lineno, "R1",
+                        f"importing {alias.name} from time in a kernel module — "
+                        "cost must flow through CostLedger",
+                    ))
+
+
+def _function_params(fn: ast.AST) -> List[str]:
+    a = fn.args
+    params = [x.arg for x in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg:
+        params.append(a.vararg.arg)
+    if a.kwarg:
+        params.append(a.kwarg.arg)
+    return params
+
+
+def _own_body_nodes(fn: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested functions
+    (those are linted on their own)."""
+    stack = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_ledger_flow(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = set(_function_params(fn))
+        # Names whose counters this function increments, with first line.
+        incremented: dict = {}
+        counter_attr_ids = set()  # id() of Name nodes that are counter receivers
+        for node in _own_body_nodes(fn):
+            target = None
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _COUNTERS
+                and isinstance(target.value, ast.Name)
+            ):
+                name = target.value.id
+                incremented.setdefault(name, node.lineno)
+                counter_attr_ids.add(id(target.value))
+        if not incremented:
+            continue
+        # A counted ledger is fine if it is a parameter, or if the name
+        # escapes: any use other than as a counter receiver (passed to
+        # a call, returned, stored on a result, re-read, ...).
+        for name, lineno in incremented.items():
+            if name in params or name == "self":
+                continue
+            escapes = False
+            for node in _own_body_nodes(fn):
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in counter_attr_ids
+                ):
+                    escapes = True
+                    break
+            if not escapes:
+                out.append(LintFinding(
+                    path, lineno, "R2",
+                    f"function '{fn.name}' counts cost into '{name}' which "
+                    "is neither a 'ledger' parameter nor escapes the "
+                    "function — that work is dropped from the model",
+                ))
+
+
+def _check_bare_except(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            out.append(LintFinding(
+                path, node.lineno, "R3",
+                "bare 'except:' — catch a concrete exception type",
+            ))
+
+
+def _check_mutable_defaults(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        name = getattr(fn, "name", "<lambda>")
+        for default in list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+                and not default.args
+                and not default.keywords
+            )
+            if bad:
+                out.append(LintFinding(
+                    path, default.lineno, "R4",
+                    f"mutable default argument in '{name}' — use None "
+                    "and create inside the function",
+                ))
+
+
+def lint_source(source: str, relpath: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source.  ``relpath`` (relative to the package
+    root, e.g. ``core/numeric.py``) decides whether the kernel-only
+    rules R1/R2 apply."""
+    out: List[LintFinding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        out.append(LintFinding(relpath, exc.lineno or 0, "R0", f"syntax error: {exc.msg}"))
+        return out
+    if _is_kernel_module(relpath):
+        _check_wall_clocks(tree, relpath, out)
+        _check_ledger_flow(tree, relpath, out)
+    _check_bare_except(tree, relpath, out)
+    _check_mutable_defaults(tree, relpath, out)
+    out.sort(key=lambda f: (f.path, f.line, f.rule))
+    return out
+
+
+def lint_paths(paths: Sequence[str], root: str) -> List[LintFinding]:
+    out: List[LintFinding] = []
+    for p in paths:
+        rel = os.path.relpath(p, root)
+        with open(p, "r", encoding="utf-8") as fh:
+            out.extend(lint_source(fh.read(), rel))
+    out.sort(key=lambda f: (f.path, f.line, f.rule))
+    return out
+
+
+def lint_tree(root: Optional[str] = None) -> List[LintFinding]:
+    """Lint every ``.py`` file under ``root`` (default: the installed
+    ``repro`` package directory)."""
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                paths.append(os.path.join(dirpath, fn))
+    return lint_paths(sorted(paths), root)

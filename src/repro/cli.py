@@ -10,6 +10,10 @@ Small utilities a downstream user reaches for first:
   chosen solver, print residual, |L+U| and modelled times.
 * ``suite`` — list the built-in Table I / Table II suite; ``--emit``
   writes a suite matrix to a MatrixMarket file.
+* ``analyze hazards|conservation|lint`` — the verification layer:
+  happens-before race detection on the emitted task DAG, ledger/
+  schedule conservation checks, and the repo's AST lint.  Exits
+  nonzero on findings (the CI gate).
 """
 
 from __future__ import annotations
@@ -114,6 +118,52 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _analysis_matrices(args):
+    from .matrices.suite import suite_names
+
+    names = args.matrix or (suite_names(1) + suite_names(2))
+    for name in names:
+        yield name, _load(name)
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import check_conservation, check_hazards, check_schedule, lint_tree
+
+    if args.checker == "lint":
+        findings = lint_tree()
+        for f in findings:
+            print(f)
+        print(f"lint: {len(findings)} finding(s)")
+        return 1 if findings else 0
+
+    failures = 0
+    for name, A in _analysis_matrices(args):
+        for p in args.threads:
+            solver = Basker(n_threads=p, pipeline_columns=args.pipeline)
+            num = solver.factor(A)
+            if args.checker == "hazards":
+                rep = check_hazards(num.tasks)
+                status = "OK" if rep.ok else f"{len(rep.hazards)} HAZARD(S)"
+                print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks, "
+                      f"{rep.n_pairs_checked:6d} pairs: {status}")
+                for h in rep.hazards:
+                    print(f"    [{h.kind}] {h.message}")
+                failures += not rep.ok
+            else:
+                sched = num.schedule(SANDY_BRIDGE)
+                rep1 = check_conservation(num.tasks, num.ledger, num.overhead_ledger)
+                rep2 = check_schedule(num.tasks, sched)
+                ok = rep1.ok and rep2.ok
+                n_find = len(rep1.findings) + len(rep2.findings)
+                print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks: "
+                      f"{'OK' if ok else f'{n_find} FINDING(S)'}")
+                for f in rep1.findings + rep2.findings:
+                    print(f"    {f}")
+                failures += not ok
+    print(f"analyze {args.checker}: {failures} failing configuration(s)")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -141,6 +191,16 @@ def main(argv=None) -> int:
     p.add_argument("--emit", help="suite matrix name to write as MatrixMarket")
     p.add_argument("--output", help="output path for --emit")
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("analyze", help="race/conservation/lint verification")
+    p.add_argument("checker", choices=["hazards", "conservation", "lint"])
+    p.add_argument("--matrix", action="append",
+                   help="suite name or .mtx path (repeatable; default: whole suite)")
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 4, 16],
+                   help="thread counts to analyze at (default: 1 4 16)")
+    p.add_argument("--pipeline", type=int, default=None,
+                   help="pipeline_columns chunk size (default: whole-block tasks)")
+    p.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.fn(args)

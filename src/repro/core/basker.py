@@ -51,6 +51,10 @@ class BaskerNumeric:
     tasks: List[SimTask]
     task_labels: Dict[int, str]
     ledger: CostLedger
+    # Work in ``ledger`` not attributed to any task (input block scatter
+    # + factor assembly); repro.analysis.conservation balances
+    # sum(task ledgers) + overhead_ledger == ledger.
+    overhead_ledger: CostLedger = field(default_factory=CostLedger)
 
     # ------------------------------------------------------------------
     @property
@@ -166,7 +170,9 @@ class Basker:
         splits = symbolic.block_splits
         builder = TaskBuilder()
         total = CostLedger()
-        total.mem_words += A.nnz  # block scatter
+        overhead = CostLedger()
+        overhead.mem_words += A.nnz  # block scatter
+        total.add(overhead)
 
         row_perm = symbolic.row_perm_pre.copy()
         fine_lu: Dict[int, GPResult] = {}
@@ -197,6 +203,8 @@ class Basker:
                 builder.add(
                     ("fine", b_idx), led, deps=[], thread=thread,
                     working_set=12.0 * (lu.L.nnz + lu.U.nnz) + 8.0 * (hi - lo),
+                    reads=[("fineA", b_idx)],
+                    writes=[("fineLU", b_idx)],
                 )
 
         # Fine-ND blocks: Algorithm 4.
@@ -215,6 +223,7 @@ class Basker:
             nd_numeric[plan.block_id] = nd
             row_perm[lo:hi] = row_perm[lo:hi][nd.piv]
             total.add(nd.ledger)
+            overhead.add(nd.overhead)
 
         M = A.permute(row_perm, symbolic.col_perm)
         return BaskerNumeric(
@@ -227,6 +236,7 @@ class Basker:
             tasks=builder.tasks,
             task_labels=builder.labels(),
             ledger=total,
+            overhead_ledger=overhead,
         )
 
     # ------------------------------------------------------------------

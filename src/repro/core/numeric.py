@@ -57,7 +57,15 @@ __all__ = [
 
 
 class TaskBuilder:
-    """Accumulates the simulation task DAG during factorization."""
+    """Accumulates the simulation task DAG during factorization.
+
+    Every task declares its *read-set* and *write-set* of logical block
+    keys (``("A", b, r, c)``, ``("LU", b, t)``, ``("L", b, r, c)``,
+    ``("U", b, r, c)``, ``("P", b, r, c, s)``, ``("R", b, r, c)``).
+    The sets are inert at runtime; :mod:`repro.analysis.hazards`
+    cross-checks them against ``deps`` + per-thread program order to
+    prove the point-to-point synchronization is sufficient.
+    """
 
     def __init__(self) -> None:
         self.tasks: List[SimTask] = []
@@ -72,6 +80,8 @@ class TaskBuilder:
         working_set: float = 0.0,
         p2p_syncs: int = 0,
         barriers: int = 0,
+        reads: List[tuple] = (),
+        writes: List[tuple] = (),
     ) -> int:
         if key in self._by_key:
             raise ValueError(f"duplicate task key {key}")
@@ -87,6 +97,8 @@ class TaskBuilder:
                 p2p_syncs=p2p_syncs,
                 barriers=barriers,
                 label="/".join(str(k) for k in key),
+                reads=tuple(reads),
+                writes=tuple(writes),
             )
         )
         self._by_key[key] = tid
@@ -116,6 +128,24 @@ class _PassEmitter:
     factorization works on columns [c, c+chunk), the reductions for the
     next chunk proceed on other threads.  Costs are apportioned to
     chunks by the realized nnz of the task's output columns.
+
+    Read/write declarations distinguish four access classes so the
+    hazard analysis stays exact under pipelining:
+
+    * ``reads`` — whole blocks from *earlier* passes (every chunk reads
+      all of them);
+    * ``chunk_reads`` — blocks produced *within this pass*, which are
+      column-partitioned: chunk ``k`` only touches columns ``[k*c,
+      (k+1)*c)``, so the key is refined with ``("c", k)``;
+    * ``writes`` — this task's column-partitioned output (refined per
+      chunk the same way);
+    * ``final_writes`` — whole-block side effects that happen once the
+      logical task completes (the diagonal factorization's pivot
+      permutation of its block row); they attach to the last chunk.
+
+    A refined key ``base + ("c", k)`` denotes a sub-resource of
+    ``base``: it conflicts with the whole block and with the same chunk
+    of it, but not with sibling chunks (disjoint column ranges).
     """
 
     def __init__(self, builder: TaskBuilder, n_cols: int, chunk: Optional[int]):
@@ -135,17 +165,25 @@ class _PassEmitter:
         sync_per_col: int = 0,
         chain: bool = False,
         out: Optional[CSC] = None,
+        reads: List[tuple] = (),
+        chunk_reads: List[tuple] = (),
+        writes: List[tuple] = (),
+        final_writes: List[tuple] = (),
     ) -> None:
         if not self.chunk:
             self.builder.add(
                 key, led, deps=list(internal) + list(external), thread=thread,
                 working_set=working_set, p2p_syncs=sync_per_col * self.n_cols,
+                reads=list(reads) + list(chunk_reads),
+                writes=list(writes) + list(final_writes),
             )
             return
         self.recs.append(
             dict(key=key, led=led, thread=thread, ws=working_set,
                  internal=list(internal), external=list(external),
-                 sync_per_col=sync_per_col, chain=chain, out=out)
+                 sync_per_col=sync_per_col, chain=chain, out=out,
+                 reads=list(reads), chunk_reads=list(chunk_reads),
+                 writes=list(writes), final_writes=list(final_writes))
         )
 
     def flush(self) -> None:
@@ -169,6 +207,10 @@ class _PassEmitter:
                 deps = [d + ("c", k) for d in rec["internal"]] + list(rec["external"])
                 if rec["chain"] and k > 0:
                     deps.append(rec["key"] + ("c", k - 1))
+                reads = list(rec["reads"]) + [r + ("c", k) for r in rec["chunk_reads"]]
+                writes = [w + ("c", k) for w in rec["writes"]]
+                if k == K - 1:
+                    writes += list(rec["final_writes"])
                 self.builder.add(
                     rec["key"] + ("c", k),
                     rec["led"].scaled(weights[k]),
@@ -176,6 +218,8 @@ class _PassEmitter:
                     thread=rec["thread"],
                     working_set=rec["ws"],
                     p2p_syncs=rec["sync_per_col"] * (hi - lo),
+                    reads=reads,
+                    writes=writes,
                 )
             self.builder.add_alias(rec["key"], rec["key"] + ("c", K - 1))
         self.recs = []
@@ -460,6 +504,10 @@ class NDNumericBlock:
     U_blocks: Dict[Tuple[int, int], CSC]
     node_piv: Dict[int, np.ndarray]
     ledger: CostLedger
+    # Work in ``ledger`` that belongs to no task (final factor assembly)
+    # — the conservation checker needs it to balance the books:
+    # sum(task ledgers) + overhead == ledger.
+    overhead: CostLedger = field(default_factory=CostLedger)
 
     @property
     def factor_nnz(self) -> int:
@@ -534,9 +582,14 @@ def factor_nd_block(
         Lb[(i, i)], Ub[(i, i)] = lu.L, lu.U
         node_piv[i] = lu.row_perm
         total.add(led)
+        # The leaf task also applies its pivot permutation to block row
+        # i (the A_ik below), so those blocks are in its write-set.
+        row_i = [("A", b, i, k) for k in part.ancestors(i) if A[(i, k)].nnz]
         builder.add(
             ("leaf", b, i), led, deps=[], thread=plan.owner_thread[i],
             working_set=_ws_bytes(lu.L, lu.U),
+            reads=[("A", b, i, i)] + row_i,
+            writes=[("LU", b, i)] + row_i,
         )
         # Move block row i into pivoted space for the later U_ik solves.
         for k in part.ancestors(i):
@@ -555,6 +608,8 @@ def factor_nd_block(
                 ("lowoff", b, k, i), led2, deps=[("leaf", b, i)],
                 thread=plan.owner_thread[i],
                 working_set=_ws_bytes(Lki, Ub[(i, i)]),
+                reads=[("A", b, k, i), ("LU", b, i)],
+                writes=[("L", b, k, i)],
             )
 
     # ---------------- separator passes (slevel = 1..log2 p) ----------------
@@ -590,6 +645,8 @@ def factor_nd_block(
                 thread=plan.owner_thread[i],
                 working_set=_ws_bytes(Uij, Lb[(i, i)]),
                 out=Uij,
+                reads=[("A", b, i, j), ("LU", b, i)],
+                writes=[("U", b, i, j)],
             )
 
         def contrib_list(row_block: int, col_block: int, members: List[int]):
@@ -617,8 +674,18 @@ def factor_nd_block(
 
             Emits the product tasks and the ("reduce", b, row, col)
             combine task; returns the reduced block.
+
+            If ``row_block`` is a separator whose diagonal already
+            factored (an earlier pass), its pivot permutation rewrote
+            the stored ``L_{row,s}`` blocks and ``A_{row,col}`` — the
+            reduction must be ordered after it, so ("diagfac", b,
+            row_block) joins the external dependencies.
             """
             contribs = contrib_list(row_block, col_block, members)
+            row_done = (
+                [("diagfac", b, row_block)]
+                if builder.has(("diagfac", b, row_block)) else []
+            )
             prods = []
             part_keys = []
             for s, L_rs, U_sc, internal, external in contribs:
@@ -628,10 +695,13 @@ def factor_nd_block(
                 total.add(pled)
                 key = ("rpart", b, row_block, col_block, s)
                 em.add(
-                    key, pled, internal=internal, external=external,
+                    key, pled, internal=internal, external=external + row_done,
                     thread=plan.owner_thread[s],
                     working_set=_ws_bytes(P, L_rs),
                     out=P,
+                    reads=[("L", b, row_block, s)],
+                    chunk_reads=[("U", b, s, col_block)],
+                    writes=[("P", b, row_block, col_block, s)],
                 )
                 part_keys.append(key)
             cled = CostLedger()
@@ -639,10 +709,14 @@ def factor_nd_block(
             total.add(cled)
             em.add(
                 ("reduce", b, row_block, col_block), cled,
-                internal=part_keys, thread=plan.owner_thread[row_block],
+                internal=part_keys, external=row_done,
+                thread=plan.owner_thread[row_block],
                 working_set=_ws_bytes(Ahat),
                 sync_per_col=2 if contribs else 0,
                 out=Ahat,
+                reads=[("A", b, row_block, col_block)],
+                chunk_reads=[("P", b, row_block, col_block, s) for s, *_ in contribs],
+                writes=[("R", b, row_block, col_block)],
             )
             return Ahat
 
@@ -667,6 +741,9 @@ def factor_nd_block(
                 thread=plan.owner_thread[m],
                 working_set=_ws_bytes(Umj, Lb[(m, m)]),
                 out=Umj,
+                reads=[("LU", b, m)],
+                chunk_reads=[("R", b, m, j)],
+                writes=[("U", b, m, j)],
             )
 
         # treelevel = slevel: reduce + factor the diagonal (lines 22-26).
@@ -680,12 +757,31 @@ def factor_nd_block(
         Lb[(j, j)], Ub[(j, j)] = lu.L, lu.U
         node_piv[j] = lu.row_perm
         total.add(led2)
+        # The pivot permutation below rewrites every stored block of
+        # block row j, so the diagonal task (a) declares those blocks
+        # as writes and (b) must be ordered *after* every earlier-pass
+        # task that produced or read them (lowoff/lowsep wrote L_{j,s};
+        # reduce-row-j tasks read L_{j,s} and A_{j,·}).  Without these
+        # edges a p2p runtime could permute a block another thread is
+        # still consuming.
+        row_j = [("L", b, j, s) for s in T
+                 if Lb.get((j, s)) is not None and Lb[(j, s)].nnz] + \
+                [("A", b, j, k) for k in part.ancestors(j) if A[(j, k)].nnz]
+        row_readers = [
+            (fam, b, j, s) for s in T for fam in ("lowoff", "lowsep", "reduce")
+            if builder.has((fam, b, j, s))
+        ]
         em.add(
             ("diagfac", b, j), led2,
             internal=[("reduce", b, j, j)],
+            external=row_readers,
             thread=plan.owner_thread[j], working_set=_ws_bytes(lu.L, lu.U),
             chain=True,   # left-looking: column chunk c needs chunk c-1
             out=lu.U,
+            reads=row_j,
+            chunk_reads=[("R", b, j, j)],
+            writes=[("LU", b, j)],
+            final_writes=row_j,
         )
         # Move block row j into pivoted space: stored L_{j,s} and the
         # unconsumed original blocks A_{j,k}.
@@ -717,6 +813,8 @@ def factor_nd_block(
                 thread=threads[idx % len(threads)],
                 working_set=_ws_bytes(Lkj, Ub[(j, j)]),
                 out=Lkj,
+                chunk_reads=[("R", b, k, j), ("LU", b, j)],
+                writes=[("L", b, k, j)],
             )
 
         em.flush()
@@ -739,8 +837,11 @@ def factor_nd_block(
             Ubm.set(key[0], key[1], blk)
     L = Lbm.assemble()
     U = Ubm.assemble()
-    total.mem_words += L.nnz + U.nnz
+    overhead = CostLedger()
+    overhead.mem_words += L.nnz + U.nnz
+    total.add(overhead)
     return NDNumericBlock(
         plan=plan, L=L, U=U, piv=piv,
         L_blocks=Lb, U_blocks=Ub, node_piv=node_piv, ledger=total,
+        overhead=overhead,
     )

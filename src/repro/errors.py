@@ -1,11 +1,28 @@
-"""Package-wide exception types."""
+"""Package-wide exception types.
+
+Every error raised by this package for a *user-facing* reason derives
+from :class:`ReproError`, so callers can catch one type.  The concrete
+subclasses also inherit the builtin exception they historically were
+(``ValueError``), so existing ``except ValueError`` call sites keep
+working.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SingularMatrixError", "StructureError"]
+__all__ = [
+    "ReproError",
+    "SingularMatrixError",
+    "StructureError",
+    "TaskGraphError",
+    "AnalysisError",
+]
 
 
-class SingularMatrixError(ValueError):
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SingularMatrixError(ReproError, ValueError):
     """Raised when a factorization meets a structurally or numerically
     singular pivot and static perturbation is disabled."""
 
@@ -14,6 +31,17 @@ class SingularMatrixError(ValueError):
         self.column = column
 
 
-class StructureError(ValueError):
+class StructureError(ReproError, ValueError):
     """Raised when an input violates a structural precondition
     (non-square block, broken separator property, bad permutation)."""
+
+
+class TaskGraphError(ReproError, ValueError):
+    """Raised when a task DAG is malformed: a task's ``deps`` reference
+    an unknown task id, a duplicate task id appears, or the dependency
+    graph contains a cycle (which would deadlock the p2p runtime)."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """Raised by :mod:`repro.analysis` when a checker cannot run
+    (bad arguments, unknown matrix, missing schedule data)."""

@@ -52,6 +52,10 @@ class CostLedger:
     columns: float = 0.0
 
     def add(self, other: "CostLedger") -> "CostLedger":
+        if not isinstance(other, CostLedger):
+            raise TypeError(
+                f"can only add a CostLedger to a CostLedger, not {type(other).__name__}"
+            )
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
@@ -60,6 +64,9 @@ class CostLedger:
         return self.add(other)
 
     def scaled(self, alpha: float) -> "CostLedger":
+        alpha = float(alpha)
+        if not (alpha >= 0.0):  # rejects negatives and NaN
+            raise ValueError(f"ledger scale factor must be >= 0, got {alpha}")
         return CostLedger(**{f.name: getattr(self, f.name) * alpha for f in fields(self)})
 
     def copy(self) -> "CostLedger":

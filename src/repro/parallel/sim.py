@@ -20,6 +20,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..errors import TaskGraphError
 from .ledger import CostLedger
 from .machine import MachineModel
 
@@ -36,6 +37,12 @@ class SimTask:
     ``sync_mode='barrier'`` the scheduler prices *all* sync events as
     full barriers — that is the traditional data-parallel baseline the
     paper measures 11 % overhead for.
+
+    ``reads``/``writes`` declare the logical data blocks this task
+    touches (opaque hashable keys, e.g. ``("L", b, k, i)``).  They play
+    no role in scheduling; :mod:`repro.analysis.hazards` uses them to
+    prove the emitted ``deps`` order every conflicting access — the
+    correctness condition behind the paper's barrier-free p2p claim.
     """
 
     tid: int
@@ -46,6 +53,8 @@ class SimTask:
     p2p_syncs: int = 0
     barriers: int = 0
     label: str = ""
+    reads: Sequence[tuple] = ()
+    writes: Sequence[tuple] = ()
 
 
 @dataclass
@@ -117,7 +126,10 @@ def _priorities(tasks: List[SimTask], durations: Dict[int, float]) -> Dict[int, 
     for t in tasks:
         for d in t.deps:
             if d not in dependents:
-                raise ValueError(f"task {t.tid} depends on unknown task {d}")
+                raise TaskGraphError(
+                    f"task {t.tid} ({t.label or 'unlabeled'}) depends on "
+                    f"unknown task id {d}; the DAG has no such task"
+                )
             dependents[d].append(t.tid)
             indeg[t.tid] += 1
     # Reverse-topological accumulation via Kahn ordering.
@@ -132,7 +144,12 @@ def _priorities(tasks: List[SimTask], durations: Dict[int, float]) -> Dict[int, 
             if indeg_work[w] == 0:
                 q.append(w)
     if len(order) != len(tasks):
-        raise ValueError("task graph contains a cycle")
+        stuck = sorted(tid for tid, k in indeg_work.items() if k > 0)[:8]
+        raise TaskGraphError(
+            "task graph contains a dependency cycle (would deadlock the "
+            f"p2p runtime); {len(tasks) - len(order)} tasks are stuck, "
+            f"e.g. ids {stuck}"
+        )
     prio = {tid: durations[tid] for tid in durations}
     for v in reversed(order):
         down = max((prio[w] for w in dependents[v]), default=0.0)
@@ -159,7 +176,7 @@ def simulate(
     by_id: Dict[int, SimTask] = {}
     for t in tasks:
         if t.tid in by_id:
-            raise ValueError(f"duplicate task id {t.tid}")
+            raise TaskGraphError(f"duplicate task id {t.tid}")
         if t.thread is not None and not (0 <= t.thread < n_threads):
             raise ValueError(f"task {t.tid} pinned to thread {t.thread} of {n_threads}")
         by_id[t.tid] = t
@@ -183,7 +200,10 @@ def simulate(
         remaining[t.tid] = len(t.deps)
         for d in t.deps:
             if d not in by_id:
-                raise ValueError(f"task {t.tid} depends on unknown task {d}")
+                raise TaskGraphError(
+                    f"task {t.tid} ({t.label or 'unlabeled'}) depends on "
+                    f"unknown task id {d}"
+                )
             dependents[d].append(t.tid)
 
     thread_clock = [0.0] * n_threads
@@ -228,7 +248,10 @@ def simulate(
                 push_ready(w, max(end[d] for d in by_id[w].deps))
 
     if scheduled != len(tasks):
-        raise ValueError("deadlock: not all tasks were scheduled")
+        raise TaskGraphError(
+            f"deadlock: only {scheduled} of {len(tasks)} tasks could be "
+            "scheduled (dependency cycle)"
+        )
 
     makespan = max(end.values(), default=0.0)
     busy = [0.0] * n_threads

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import ReproError, TaskGraphError
 from repro.parallel import (
     CostLedger,
     MachineModel,
@@ -40,6 +41,32 @@ class TestCostLedger:
     def test_total_and_empty(self):
         assert CostLedger().is_empty()
         assert CostLedger(sparse_flops=1, dense_flops=2).total_flops == 3
+
+    def test_is_empty_any_field(self):
+        for f in ("sparse_flops", "dense_flops", "dfs_steps", "mem_words", "columns"):
+            assert not CostLedger(**{f: 0.5}).is_empty()
+
+    def test_iadd_is_add(self):
+        a = CostLedger(sparse_flops=1.0)
+        b = a
+        a += CostLedger(sparse_flops=2.0, columns=3.0)
+        assert a is b  # in-place, same object
+        assert (a.sparse_flops, a.columns) == (3.0, 3.0)
+
+    def test_add_rejects_non_ledger(self):
+        with pytest.raises(TypeError, match="CostLedger"):
+            CostLedger().add(3.0)
+        with pytest.raises(TypeError):
+            led = CostLedger()
+            led += {"sparse_flops": 1.0}
+
+    def test_scaled_rejects_negative_and_nan(self):
+        led = CostLedger(sparse_flops=1.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            led.scaled(-0.25)
+        with pytest.raises(ValueError):
+            led.scaled(float("nan"))
+        assert led.scaled(0.0).is_empty()
 
 
 class TestMachineModel:
@@ -131,15 +158,28 @@ class TestSimulate:
         with pytest.raises(ValueError):
             simulate(tasks, SANDY_BRIDGE, 2)
 
+    def test_cycle_raises_taskgrapherror_naming_stuck_tasks(self):
+        tasks = [
+            SimTask(tid=7, ledger=_led(sparse=1.0), deps=[8]),
+            SimTask(tid=8, ledger=_led(sparse=1.0), deps=[7]),
+        ]
+        with pytest.raises(TaskGraphError, match="cycle") as exc:
+            simulate(tasks, SANDY_BRIDGE, 2)
+        assert isinstance(exc.value, ReproError)
+        assert "7" in str(exc.value) or "8" in str(exc.value)
+
     def test_duplicate_ids_rejected(self):
         tasks = [SimTask(tid=0, ledger=_led()), SimTask(tid=0, ledger=_led())]
-        with pytest.raises(ValueError):
+        with pytest.raises(TaskGraphError, match="duplicate"):
             simulate(tasks, SANDY_BRIDGE, 2)
 
     def test_unknown_dep_rejected(self):
-        tasks = [SimTask(tid=0, ledger=_led(), deps=[99])]
-        with pytest.raises(ValueError):
+        tasks = [SimTask(tid=0, ledger=_led(), deps=[99], label="orphan")]
+        with pytest.raises(TaskGraphError, match="orphan") as exc:
             simulate(tasks, SANDY_BRIDGE, 2)
+        assert "99" in str(exc.value)
+        # TaskGraphError stays catchable as ValueError for old callers.
+        assert isinstance(exc.value, ValueError)
 
     def test_bad_sync_mode(self):
         with pytest.raises(ValueError):
@@ -149,6 +189,44 @@ class TestSimulate:
         tasks = [SimTask(tid=0, ledger=_led(sparse=1e5), label="work")]
         s = simulate(tasks, SANDY_BRIDGE, 1)
         assert "t  0" in s.gantt({0: "work"})
+
+    def test_gantt_orders_by_start_and_defaults_labels(self):
+        tasks = [
+            SimTask(tid=5, ledger=_led(sparse=2e6), thread=0),
+            SimTask(tid=3, ledger=_led(sparse=1e6), thread=0, deps=[5]),
+        ]
+        s = simulate(tasks, SANDY_BRIDGE, 2)
+        lines = s.gantt().splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith(" 5") and lines[1].endswith(" 3")
+        assert s.gantt({5: "first"}).splitlines()[0].endswith(" first")
+
+    def test_empty_schedule_trace_and_gantt(self):
+        s = simulate([], SANDY_BRIDGE, 4)
+        assert s.makespan == 0.0
+        assert s.gantt() == ""
+        trace = s.to_chrome_trace()
+        assert trace["traceEvents"] == []
+
+    def test_chrome_trace_events(self):
+        tasks = [
+            SimTask(tid=0, ledger=_led(sparse=1e6), thread=1, label="a"),
+            SimTask(tid=1, ledger=_led(sparse=1e6), thread=0, deps=[0], label="b"),
+        ]
+        s = simulate(tasks, SANDY_BRIDGE, 2)
+        trace = s.to_chrome_trace({0: "a", 1: "b"})
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["a", "b"]
+        for e in events:
+            assert e["ph"] == "X"
+            tid = e["args"]["task_id"]
+            assert e["ts"] == pytest.approx(s.start[tid] * 1e6)
+            assert e["dur"] == pytest.approx((s.end[tid] - s.start[tid]) * 1e6)
+            assert e["tid"] == s.thread_of[tid]
+        # Serializable as-is.
+        import json
+
+        json.dumps(trace)
 
     def test_efficiency_bounds(self):
         tasks = [SimTask(tid=i, ledger=_led(sparse=1e6)) for i in range(3)]
