@@ -16,13 +16,30 @@ machinery:
   :class:`~repro.parallel.sim.Schedule` is self-consistent;
 * :mod:`repro.analysis.lint` — AST lint enforcing the repo's
   cost-model discipline (no wall clocks in kernels, ledgers flow
-  through parameters, no bare ``except``, no mutable defaults).
+  through parameters, no bare ``except``, no mutable defaults, no
+  nondeterminism in kernels);
+* :mod:`repro.analysis.domains` — interprocedural index-domain checker
+  that tracks which index space (``global``, ``btf``, ``nd``,
+  ``local:block``) each permutation and index array lives in, using the
+  :func:`repro.contracts.domains` annotations on the solver's public
+  functions, and flags cross-space mixups (block-local indices applied
+  to global arrays, double permutation application, mismatched
+  ``compose`` chains).
 
-All three are exposed as ``python -m repro analyze
-{hazards,conservation,lint}`` and run in CI.
+All four are exposed as ``python -m repro analyze
+{hazards,conservation,lint,domains}`` (``--format json`` for machine
+consumption) and run in CI.
 """
 
 from .conservation import ConservationReport, check_conservation, check_schedule
+from .domains import (
+    Domain,
+    DomainFinding,
+    check_domains_paths,
+    check_domains_source,
+    check_domains_tree,
+    parse_domain,
+)
 from .hazards import Hazard, HazardReport, check_hazards, happens_before
 from .lint import LintFinding, lint_paths, lint_source, lint_tree
 
@@ -38,4 +55,10 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "lint_tree",
+    "Domain",
+    "DomainFinding",
+    "parse_domain",
+    "check_domains_source",
+    "check_domains_paths",
+    "check_domains_tree",
 ]

@@ -17,6 +17,14 @@ that counted work is never silently dropped.  Four rules:
 * **R3** — no bare ``except:`` anywhere in the package.
 * **R4** — no mutable default arguments (``[]``, ``{}``, ``set()``,
   ``list()``, ``dict()``) anywhere in the package.
+* **R5** — no nondeterminism in the kernel packages (``core/``,
+  ``solvers/``, ``sparse/``, ``ordering/``, ``graph/``): no
+  module-level RNG use through ``np.random.<fn>`` (``default_rng``,
+  ``seed``, ``rand``, ...), no ``from numpy.random import <fn>``, no
+  ``import random``, and no time-derived seeds
+  (``default_rng(time.time())``).  Kernels that need randomness must
+  take a ``numpy.random.Generator`` parameter — type annotations
+  referencing ``np.random.Generator`` are explicitly allowed.
 
 Findings are reported as ``path:line CODE message``; the CLI exits
 nonzero when any are found, which is what CI gates on.
@@ -29,12 +37,28 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["LintFinding", "lint_source", "lint_paths", "lint_tree", "KERNEL_DIRS"]
+__all__ = [
+    "LintFinding", "lint_source", "lint_paths", "lint_tree",
+    "KERNEL_DIRS", "DETERMINISTIC_DIRS",
+]
 
 KERNEL_DIRS = ("core", "solvers", "sparse")
+# R5 (determinism) additionally covers the ordering/graph kernels whose
+# output must be reproducible run to run.
+DETERMINISTIC_DIRS = KERNEL_DIRS + ("ordering", "graph")
 _WALL_CLOCKS = {"time", "perf_counter", "monotonic", "process_time", "thread_time", "clock"}
 _COUNTERS = {"sparse_flops", "dense_flops", "dfs_steps", "mem_words", "columns"}
 _MUTABLE_CALLS = {"list", "dict", "set"}
+# numpy.random module-level entry points banned in deterministic kernels.
+# ``Generator`` is deliberately absent: ``rng: np.random.Generator``
+# annotations are the sanctioned way for kernels to consume randomness.
+_RNG_NAMES = {
+    "default_rng", "seed", "rand", "randn", "randint", "random",
+    "random_sample", "ranf", "sample", "choice", "permutation", "shuffle",
+    "standard_normal", "uniform", "normal", "RandomState", "get_state",
+    "set_state",
+}
+_RNG_FACTORIES = {"default_rng", "RandomState", "seed"}
 
 
 @dataclass
@@ -51,6 +75,11 @@ class LintFinding:
 def _is_kernel_module(relpath: str) -> bool:
     parts = relpath.replace(os.sep, "/").split("/")
     return any(p in parts[:-1] for p in KERNEL_DIRS)
+
+
+def _is_deterministic_module(relpath: str) -> bool:
+    parts = relpath.replace(os.sep, "/").split("/")
+    return any(p in parts[:-1] for p in DETERMINISTIC_DIRS)
 
 
 def _check_wall_clocks(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
@@ -175,6 +204,69 @@ def _check_mutable_defaults(tree: ast.AST, path: str, out: List[LintFinding]) ->
                 ))
 
 
+def _mentions_time(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in {"time", "datetime"}:
+            return True
+    return False
+
+
+def _check_nondeterminism(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in _RNG_NAMES:
+            v = node.value
+            if (
+                isinstance(v, ast.Attribute)
+                and v.attr == "random"
+                and isinstance(v.value, ast.Name)
+                and v.value.id in {"np", "numpy"}
+            ):
+                out.append(LintFinding(
+                    path, node.lineno, "R5",
+                    f"module-level RNG np.random.{node.attr} in a deterministic "
+                    "kernel — take a numpy.random.Generator parameter instead",
+                ))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in _RNG_NAMES:
+                        out.append(LintFinding(
+                            path, node.lineno, "R5",
+                            f"importing {alias.name} from numpy.random in a "
+                            "deterministic kernel — take a Generator parameter "
+                            "instead",
+                        ))
+            elif node.module == "random":
+                out.append(LintFinding(
+                    path, node.lineno, "R5",
+                    "importing from the stdlib random module in a deterministic "
+                    "kernel — take a numpy.random.Generator parameter instead",
+                ))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in {"random", "numpy.random"}:
+                    out.append(LintFinding(
+                        path, node.lineno, "R5",
+                        f"import {alias.name} in a deterministic kernel — take "
+                        "a numpy.random.Generator parameter instead",
+                    ))
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            name = None
+            if isinstance(fn, ast.Attribute):
+                name = fn.attr
+            elif isinstance(fn, ast.Name):
+                name = fn.id
+            if name in _RNG_FACTORIES and any(
+                _mentions_time(a) for a in list(node.args) + [k.value for k in node.keywords]
+            ):
+                out.append(LintFinding(
+                    path, node.lineno, "R5",
+                    f"time-derived seed passed to {name} — seeds must be "
+                    "deterministic (explicit constants or caller-provided)",
+                ))
+
+
 def lint_source(source: str, relpath: str = "<string>") -> List[LintFinding]:
     """Lint one module's source.  ``relpath`` (relative to the package
     root, e.g. ``core/numeric.py``) decides whether the kernel-only
@@ -188,6 +280,8 @@ def lint_source(source: str, relpath: str = "<string>") -> List[LintFinding]:
     if _is_kernel_module(relpath):
         _check_wall_clocks(tree, relpath, out)
         _check_ledger_flow(tree, relpath, out)
+    if _is_deterministic_module(relpath):
+        _check_nondeterminism(tree, relpath, out)
     _check_bare_except(tree, relpath, out)
     _check_mutable_defaults(tree, relpath, out)
     out.sort(key=lambda f: (f.path, f.line, f.rule))

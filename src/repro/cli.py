@@ -10,10 +10,12 @@ Small utilities a downstream user reaches for first:
   chosen solver, print residual, |L+U| and modelled times.
 * ``suite`` — list the built-in Table I / Table II suite; ``--emit``
   writes a suite matrix to a MatrixMarket file.
-* ``analyze hazards|conservation|lint`` — the verification layer:
-  happens-before race detection on the emitted task DAG, ledger/
-  schedule conservation checks, and the repo's AST lint.  Exits
-  nonzero on findings (the CI gate).
+* ``analyze hazards|conservation|lint|domains`` — the verification
+  layer: happens-before race detection on the emitted task DAG,
+  ledger/schedule conservation checks, the repo's AST lint, and the
+  index-domain checker that tracks permutation spaces through the
+  solver.  All subcommands accept ``--format json`` for machine
+  consumption and exit nonzero on findings (the CI gate).
 """
 
 from __future__ import annotations
@@ -127,40 +129,92 @@ def _analysis_matrices(args):
 
 
 def _cmd_analyze(args) -> int:
-    from .analysis import check_conservation, check_hazards, check_schedule, lint_tree
+    import dataclasses
+    import json
 
-    if args.checker == "lint":
-        findings = lint_tree()
-        for f in findings:
-            print(f)
-        print(f"lint: {len(findings)} finding(s)")
+    from .analysis import (
+        check_conservation,
+        check_domains_paths,
+        check_domains_tree,
+        check_hazards,
+        check_schedule,
+        lint_tree,
+    )
+
+    as_json = args.format == "json"
+
+    if args.checker in ("lint", "domains"):
+        if args.checker == "lint":
+            findings = lint_tree()
+        elif args.path:
+            findings = check_domains_paths(args.path)
+        else:
+            findings = check_domains_tree()
+        if as_json:
+            print(json.dumps({
+                "checker": args.checker,
+                "ok": not findings,
+                "findings": [dataclasses.asdict(f) for f in findings],
+            }, indent=2))
+        else:
+            for f in findings:
+                print(f)
+            print(f"{args.checker}: {len(findings)} finding(s)")
         return 1 if findings else 0
 
     failures = 0
+    configs = []
     for name, A in _analysis_matrices(args):
         for p in args.threads:
             solver = Basker(n_threads=p, pipeline_columns=args.pipeline)
             num = solver.factor(A)
             if args.checker == "hazards":
                 rep = check_hazards(num.tasks)
-                status = "OK" if rep.ok else f"{len(rep.hazards)} HAZARD(S)"
-                print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks, "
-                      f"{rep.n_pairs_checked:6d} pairs: {status}")
-                for h in rep.hazards:
-                    print(f"    [{h.kind}] {h.message}")
+                if as_json:
+                    configs.append({
+                        "matrix": name, "threads": p,
+                        "tasks": len(num.tasks),
+                        "pairs_checked": rep.n_pairs_checked,
+                        "ok": rep.ok,
+                        "findings": [
+                            {"kind": h.kind, "message": h.message}
+                            for h in rep.hazards
+                        ],
+                    })
+                else:
+                    status = "OK" if rep.ok else f"{len(rep.hazards)} HAZARD(S)"
+                    print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks, "
+                          f"{rep.n_pairs_checked:6d} pairs: {status}")
+                    for h in rep.hazards:
+                        print(f"    [{h.kind}] {h.message}")
                 failures += not rep.ok
             else:
                 sched = num.schedule(SANDY_BRIDGE)
                 rep1 = check_conservation(num.tasks, num.ledger, num.overhead_ledger)
                 rep2 = check_schedule(num.tasks, sched)
                 ok = rep1.ok and rep2.ok
-                n_find = len(rep1.findings) + len(rep2.findings)
-                print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks: "
-                      f"{'OK' if ok else f'{n_find} FINDING(S)'}")
-                for f in rep1.findings + rep2.findings:
-                    print(f"    {f}")
+                all_findings = list(rep1.findings) + list(rep2.findings)
+                if as_json:
+                    configs.append({
+                        "matrix": name, "threads": p,
+                        "tasks": len(num.tasks),
+                        "ok": ok,
+                        "findings": [str(f) for f in all_findings],
+                    })
+                else:
+                    print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks: "
+                          f"{'OK' if ok else f'{len(all_findings)} FINDING(S)'}")
+                    for f in all_findings:
+                        print(f"    {f}")
                 failures += not ok
-    print(f"analyze {args.checker}: {failures} failing configuration(s)")
+    if as_json:
+        print(json.dumps({
+            "checker": args.checker,
+            "ok": failures == 0,
+            "configs": configs,
+        }, indent=2))
+    else:
+        print(f"analyze {args.checker}: {failures} failing configuration(s)")
     return 1 if failures else 0
 
 
@@ -192,14 +246,19 @@ def main(argv=None) -> int:
     p.add_argument("--output", help="output path for --emit")
     p.set_defaults(fn=_cmd_suite)
 
-    p = sub.add_parser("analyze", help="race/conservation/lint verification")
-    p.add_argument("checker", choices=["hazards", "conservation", "lint"])
+    p = sub.add_parser("analyze", help="race/conservation/lint/domains verification")
+    p.add_argument("checker", choices=["hazards", "conservation", "lint", "domains"])
     p.add_argument("--matrix", action="append",
                    help="suite name or .mtx path (repeatable; default: whole suite)")
     p.add_argument("--threads", type=int, nargs="+", default=[1, 4, 16],
                    help="thread counts to analyze at (default: 1 4 16)")
     p.add_argument("--pipeline", type=int, default=None,
                    help="pipeline_columns chunk size (default: whole-block tasks)")
+    p.add_argument("--format", choices=["human", "json"], default="human",
+                   help="output format (default: human)")
+    p.add_argument("--path", action="append",
+                   help="domains only: check these file(s) against the package "
+                        "contracts instead of the whole tree (repeatable)")
     p.set_defaults(fn=_cmd_analyze)
 
     args = parser.parse_args(argv)

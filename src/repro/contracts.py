@@ -1,0 +1,59 @@
+"""Index-domain contracts for the static analyzer.
+
+Every integer array in this package lives in one of several *index
+spaces* — the stack of reorderings (coarse/fine BTF, ND on the big
+irreducible block, per-block AMD, partial-pivoting row permutations)
+means a bare ``np.ndarray`` of ints is meaningless until you know which
+space its values index.  The :func:`domains` decorator attaches that
+information to a function's signature so that
+:mod:`repro.analysis.domains` can statically verify index arrays are
+used in the space they were produced in.
+
+Vocabulary (see ``docs/API.md`` for the full write-up):
+
+* ``perm[A->B]`` — a permutation following the package-wide *new→old*
+  fancy-indexing convention: applying ``p`` to a space-``A`` vector
+  produces a space-``B`` vector, ``x_B = x_A[p]`` (the values of ``p``
+  are space-``A`` positions).
+* ``index[S]`` — an array of positions in space ``S`` (block splits,
+  row indices, ...).
+* ``vec[S]`` — a data vector laid out in space ``S`` (entry ``i``
+  belongs to position ``i`` of ``S``).
+* ``matrix[S]`` — a :class:`~repro.sparse.csc.CSC` whose rows/columns
+  are numbered in space ``S``.
+
+Spaces are either concrete names — ``global``, ``btf``, ``nd``,
+``local:block`` — or single-uppercase-letter *variables* (``A``, ``B``,
+``S``, ...) that the checker unifies per call site, so generic helpers
+like ``amd_order`` can declare ``A="matrix[S]", returns="perm[S->S]"``.
+
+The decorator is a runtime no-op: it only records the declarations on
+the function object (``fn.__domains__``) and in the AST, where the
+analyzer reads them.  It deliberately lives at the package root so the
+kernel packages can import it without touching ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["domains"]
+
+
+def domains(**declarations: str):
+    """Declare the index domains of a function's parameters and return.
+
+    Usage::
+
+        @domains(p="perm[global->btf]", rows="index[local:block]",
+                 returns="perm[btf->nd]")
+        def f(p, rows): ...
+
+    Keyword names must match parameter names (plus the special key
+    ``returns``); values are domain expressions.  The decorator returns
+    the function unchanged apart from a ``__domains__`` attribute.
+    """
+
+    def deco(fn):
+        fn.__domains__ = dict(declarations)
+        return fn
+
+    return deco

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel, SANDY_BRIDGE
 from ..parallel.sim import Schedule, SimTask, simulate
@@ -151,6 +152,7 @@ class Basker:
         self.real_threads = bool(real_threads)
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def analyze(self, A: CSC) -> BaskerSymbolic:
         """Symbolic analysis (Algorithms 2 and 3); pattern + values (MWCM)."""
         return symbolic_analyze(
@@ -162,19 +164,20 @@ class Basker:
         )
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def factor(self, A: CSC, symbolic: Optional[BaskerSymbolic] = None) -> BaskerNumeric:
         """Parallel numeric factorization (Algorithm 4 + fine BTF)."""
         if symbolic is None:
             symbolic = self.analyze(A)
-        B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)
-        splits = symbolic.block_splits
+        B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)  # domain: matrix[btf]
+        splits = symbolic.block_splits  # domain: index[btf]
         builder = TaskBuilder()
         total = CostLedger()
         overhead = CostLedger()
         overhead.mem_words += A.nnz  # block scatter
         total.add(overhead)
 
-        row_perm = symbolic.row_perm_pre.copy()
+        row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
         fine_lu: Dict[int, GPResult] = {}
         nd_numeric: Dict[int, NDNumericBlock] = {}
 
@@ -210,7 +213,7 @@ class Basker:
         # Fine-ND blocks: Algorithm 4.
         for plan in symbolic.nd_plans:
             lo, hi = plan.offset, plan.offset + plan.size
-            Dblk = B.submatrix(lo, hi, lo, hi)
+            Dblk = B.submatrix(lo, hi, lo, hi)  # domain: matrix[nd]
             nd = factor_nd_block(
                 Dblk,
                 plan,
@@ -240,6 +243,7 @@ class Basker:
         )
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def refactor(self, A: CSC, numeric: BaskerNumeric) -> BaskerNumeric:
         """Factor a same-pattern matrix reusing the symbolic analysis.
 
@@ -250,6 +254,7 @@ class Basker:
         return self.factor(A, symbolic=numeric.symbolic)
 
     # ------------------------------------------------------------------
+    @domains(b="vec[global]", returns="vec[global]")
     def solve(self, numeric: BaskerNumeric, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` via coarse-BTF block back-substitution."""
         b = np.asarray(b, dtype=np.float64)

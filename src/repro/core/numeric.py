@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..parallel.ledger import CostLedger
 from ..parallel.sim import SimTask
@@ -230,6 +231,8 @@ class _PassEmitter:
 # ----------------------------------------------------------------------
 
 
+@domains(A_ki="matrix[local:block]", U_ii="matrix[local:block]",
+         returns="matrix[local:block]")
 def lower_offdiag_solve(A_ki: CSC, U_ii: CSC, ledger: CostLedger) -> CSC:
     """Solve ``X @ U_ii = A_ki`` for the lower off-diagonal block.
 
@@ -292,6 +295,8 @@ def lower_offdiag_solve(A_ki: CSC, U_ii: CSC, ledger: CostLedger) -> CSC:
     return CSC(m, n, indptr, indices, data)
 
 
+@domains(L_ii="matrix[local:block]", A_ij="matrix[local:block]",
+         returns="matrix[local:block]")
 def upper_offdiag_solve(
     L_ii: CSC, A_ij: CSC, ws: ReachWorkspace, ledger: CostLedger
 ) -> CSC:
@@ -341,6 +346,8 @@ def upper_offdiag_solve(
     return CSC(n_i, n, indptr, indices, data)
 
 
+@domains(L_ms="matrix[local:block]", U_sj="matrix[local:block]",
+         returns="matrix[local:block]")
 def sparse_product(L_ms: CSC, U_sj: CSC, ledger: CostLedger) -> CSC:
     """Column-accumulated sparse product ``L_ms @ U_sj``.
 
@@ -385,6 +392,7 @@ def sparse_product(L_ms: CSC, U_sj: CSC, ledger: CostLedger) -> CSC:
     return CSC(m, n, indptr, indices, data)
 
 
+@domains(A_mj="matrix[local:block]", returns="matrix[local:block]")
 def subtract_products(A_mj: CSC, prods: List[CSC], ledger: CostLedger) -> CSC:
     """``Â = A − Σ prods``: the combine phase of the reduction.
 
@@ -426,6 +434,7 @@ def subtract_products(A_mj: CSC, prods: List[CSC], ledger: CostLedger) -> CSC:
     return CSC(m, n, indptr, indices, data)
 
 
+@domains(A_mj="matrix[local:block]", returns="matrix[local:block]")
 def block_reduce(
     A_mj: CSC,
     contribs: List[Tuple[CSC, CSC]],
@@ -523,6 +532,7 @@ def _ws_bytes(*mats: CSC) -> float:
     return sum(12.0 * m.nnz + 8.0 * m.n_cols for m in mats if m is not None)
 
 
+@domains(D="matrix[nd]")
 def factor_nd_block(
     D: CSC,
     plan: NDBlockPlan,

@@ -84,13 +84,20 @@ class BaskerSymbolic:
     blocks AMD-ordered and fine-ND blocks in the 2-D layout of
     Figure 3(a).  ``row_perm_pre`` excludes numerical pivoting (which
     is folded in per factorization).
+
+    Index domains (checked by ``repro.analysis.domains``): both
+    ``row_perm_pre`` and ``col_perm`` are ``perm[global->btf]`` — they
+    carry the coarse BTF permutation with all block-local reorderings
+    (AMD, ND, per-node AMD) folded into the per-block index ranges.
+    Code that copies them into locals should pin the domain with a
+    ``# domain: perm[global->btf]`` comment.
     """
 
     n: int
     n_threads: int
     btf_result: BTFResult
-    row_perm_pre: np.ndarray
-    col_perm: np.ndarray
+    row_perm_pre: np.ndarray   # domain (doc only): perm[global->btf]
+    col_perm: np.ndarray       # domain (doc only): perm[global->btf]
     fine_plan: Optional[FineBTFPlan]
     nd_plans: List[NDBlockPlan]
     ledger: CostLedger = field(default_factory=CostLedger)

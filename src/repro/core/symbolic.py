@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.etree import etree, symbolic_cholesky_counts, symmetric_pattern
 from ..graph.matching import mwcm_row_permutation
 from ..ordering.amd import amd_order
@@ -98,6 +99,8 @@ class _Envelope:
 # ----------------------------------------------------------------------
 
 
+@domains(B="matrix[btf]", splits="index[btf]",
+         row_pre="perm[global->btf]", col_perm="perm[global->btf]")
 def _fine_btf_symbolic(
     B: CSC,
     splits: np.ndarray,
@@ -211,6 +214,7 @@ def _lower_envelope(
     return env, steps
 
 
+@domains(D="matrix[nd]")
 def _nd_block_symbolic(
     D: CSC,
     part: NDPartition,
@@ -387,6 +391,7 @@ def _nd_block_symbolic(
 # ----------------------------------------------------------------------
 
 
+@domains(A="matrix[global]")
 def analyze(
     A: CSC,
     n_threads: int,
@@ -424,10 +429,10 @@ def analyze(
         res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
     ledger.dfs_steps += A.nnz
 
-    B = A.permute(res.row_perm, res.col_perm)
-    row_pre = res.row_perm.copy()
-    col_perm = res.col_perm.copy()
-    splits = res.block_splits
+    B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
+    row_pre = res.row_perm.copy()  # domain: perm[global->btf]
+    col_perm = res.col_perm.copy()  # domain: perm[global->btf]
+    splits = res.block_splits  # domain: index[btf]
 
     fine_ids: List[int] = []
     nd_ids: List[int] = []
@@ -452,11 +457,11 @@ def analyze(
         ledger.dfs_steps += 2 * Dblk.nnz
         # ND on the symmetrized graph (p leaves by default).
         part = nested_dissection(D1, nleaves=nd_leaves)
-        q = part.perm
-        D2 = D1.permute(q, q)
+        q = part.perm  # domain: perm[local:block->nd]
+        D2 = D1.permute(q, q)  # domain: matrix[nd]
         # Per-node AMD refinement (local symmetric perms keep the
         # separator property intact).
-        r = np.arange(Dblk.n_rows, dtype=np.int64)
+        r = np.arange(Dblk.n_rows, dtype=np.int64)  # domain: perm[nd->nd]
         for t in range(part.n_nodes):
             t0, t1 = part.node_range(t)
             if t1 - t0 > 1:
@@ -464,9 +469,9 @@ def analyze(
                 pa = amd_order(blk)
                 ledger.dfs_steps += 4 * blk.nnz
                 r[t0:t1] = r[t0:t1][pa]
-        local_row = compose(compose(pm2, q), r)
-        local_col = compose(q, r)
-        D3 = Dblk.permute(local_row, local_col)
+        local_row = compose(compose(pm2, q), r)  # perm[local:block->nd], inferred
+        local_col = compose(q, r)  # perm[local:block->nd], inferred
+        D3 = Dblk.permute(local_row, local_col)  # domain: matrix[nd]
 
         row_pre[lo:hi] = row_pre[lo:hi][local_row]
         col_perm[lo:hi] = col_perm[lo:hi][local_col]

@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from ..sparse.csc import CSC
 
 __all__ = [
@@ -267,6 +268,7 @@ def mwcm_product(A: CSC) -> Tuple[np.ndarray, float]:
     return match_col, logprod
 
 
+@domains(A="matrix[S]", returns="perm[S->S]")
 def mwcm_row_permutation(A: CSC) -> np.ndarray:
     """Row permutation ``p`` such that ``A.permute(row_perm=p)`` has the
     MWCM-matched entries on its diagonal.

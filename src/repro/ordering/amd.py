@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.etree import symmetric_pattern
 from ..sparse.csc import CSC
 
 __all__ = ["amd_order"]
 
 
+@domains(A="matrix[S]", returns="perm[S->S]")
 def amd_order(A: CSC, dense_cutoff: float = 10.0) -> np.ndarray:
     """Fill-reducing permutation of a square matrix.
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.matching import mwcm_row_permutation
 from ..graph.scc import scc_of_matrix
 from ..sparse.csc import CSC
@@ -67,6 +68,7 @@ class BTFResult:
         return 100.0 * small / n
 
 
+@domains(A="matrix[global]")
 def btf(A: CSC, use_mwcm: bool = True) -> BTFResult:
     """Compute the block triangular form of a square matrix.
 
@@ -101,8 +103,8 @@ def btf(A: CSC, use_mwcm: bool = True) -> BTFResult:
 
     n_comp, comp, order = scc_of_matrix(A1)
 
-    row_perm = compose(pm, order)
-    col_perm = order
+    row_perm = compose(pm, order)  # domain: perm[global->btf]
+    col_perm = order  # domain: perm[global->btf]
 
     # Block boundaries: components are contiguous in `order`.
     sizes = np.bincount(comp, minlength=n_comp)

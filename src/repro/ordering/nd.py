@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.etree import symmetric_pattern
 from ..sparse.csc import CSC
 
@@ -352,6 +353,7 @@ def _bisect(
 # ----------------------------------------------------------------------
 
 
+@domains(A="matrix[S]")
 def nested_dissection(A: CSC, nleaves: int) -> NDPartition:
     """ND partition of a square matrix's symmetrized graph.
 
@@ -400,6 +402,7 @@ def nested_dissection(A: CSC, nleaves: int) -> NDPartition:
     return NDPartition(perm=perm, nodes=nodes, splits=splits, nleaves=nleaves)
 
 
+@domains(A="matrix[S]", returns="perm[S->S]")
 def nd_order(A: CSC, leaf_size: int = 64) -> np.ndarray:
     """A plain fill-reducing ND permutation (recurse until small leaves).
 

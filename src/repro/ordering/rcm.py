@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import domains
 from ..graph.etree import symmetric_pattern
 from ..sparse.csc import CSC
 
 __all__ = ["rcm_order", "bandwidth"]
 
 
+@domains(A="matrix[S]")
 def bandwidth(A: CSC) -> int:
     """Maximum |i - j| over stored entries."""
     if A.nnz == 0:
@@ -24,6 +26,7 @@ def bandwidth(A: CSC) -> int:
     return int(np.max(np.abs(A.indices - col_of)))
 
 
+@domains(A="matrix[S]", returns="perm[S->S]")
 def rcm_order(A: CSC) -> np.ndarray:
     """Reverse Cuthill–McKee permutation of a square matrix's graph.
 

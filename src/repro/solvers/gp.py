@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import domains
 from ..errors import SingularMatrixError
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..parallel.ledger import CostLedger
@@ -67,6 +68,7 @@ def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
     return out
 
 
+@domains(A="matrix[S]")
 def gp_refactor(
     A: CSC,
     prior: GPResult,
@@ -143,6 +145,7 @@ def gp_refactor(
     return GPResult(Lnew, Unew, row_perm.copy(), led)
 
 
+@domains(A="matrix[S]")
 def gp_factor(
     A: CSC,
     pivot_tol: float = GP_DEFAULT_PIVOT_TOL,

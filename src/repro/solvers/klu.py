@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..contracts import domains
 from ..ordering.amd import amd_order
 from ..ordering.btf import BTFResult, btf
 from ..errors import SingularMatrixError
@@ -130,6 +131,7 @@ class KLU:
         return 1.0 / agg
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def analyze(self, A: CSC) -> KLUSymbolic:
         """Pattern analysis: MWCM + BTF + per-block AMD."""
         n = A.n_rows
@@ -143,9 +145,9 @@ class KLU:
             res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
         led.dfs_steps += A.nnz  # matching + SCC traversals, order nnz
 
-        B = A.permute(res.row_perm, res.col_perm)
-        row_pre = res.row_perm.copy()
-        col_perm = res.col_perm.copy()
+        B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
+        row_pre = res.row_perm.copy()  # domain: perm[global->btf]
+        col_perm = res.col_perm.copy()  # domain: perm[global->btf]
         splits = res.block_splits
         for k in range(res.n_blocks):
             lo, hi = int(splits[k]), int(splits[k + 1])
@@ -159,6 +161,7 @@ class KLU:
         return KLUSymbolic(n=n, btf_result=res, row_perm_pre=row_pre, col_perm=col_perm, ledger=led)
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def factor(self, A: CSC, symbolic: Optional[KLUSymbolic] = None) -> KLUNumeric:
         """Numeric factorization (with per-block partial pivoting)."""
         if symbolic is None:
@@ -178,7 +181,7 @@ class KLU:
         block_lu: List[GPResult] = []
         block_ledgers: List[CostLedger] = []
         block_ws: List[float] = []
-        row_perm = symbolic.row_perm_pre.copy()
+        row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
         for k in range(symbolic.n_blocks):
             lo, hi = int(splits[k]), int(splits[k + 1])
             blk = B.submatrix(lo, hi, lo, hi)
@@ -205,6 +208,7 @@ class KLU:
         )
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def refactor(self, A: CSC, numeric: KLUNumeric) -> KLUNumeric:
         """Factor a matrix with the same pattern, reusing the analysis.
 
@@ -216,6 +220,7 @@ class KLU:
         return self.factor(A, symbolic=numeric.symbolic)
 
     # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
     def refactor_fast(self, A: CSC, numeric: KLUNumeric) -> KLUNumeric:
         """``klu_refactor``: values-only update on fixed patterns/pivots.
 
@@ -274,6 +279,7 @@ class KLU:
         )
 
     # ------------------------------------------------------------------
+    @domains(b="vec[global]", returns="vec[global]")
     def solve(self, numeric: KLUNumeric, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` by block back-substitution over the BTF."""
         b = np.asarray(b, dtype=np.float64)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import domains
 from ..parallel.ledger import CostLedger
 from ..sparse.csc import CSC
 from ..sparse.ops import lower_solve, upper_solve
@@ -17,6 +18,7 @@ from ..sparse.ops import lower_solve, upper_solve
 __all__ = ["lu_solve", "lu_solve_factors"]
 
 
+@domains(L="matrix[S]", U="matrix[S]", b_perm="vec[S]", returns="vec[S]")
 def lu_solve_factors(
     L: CSC,
     U: CSC,
@@ -33,6 +35,7 @@ def lu_solve_factors(
     return z
 
 
+@domains(row_perm="perm[A->B]", col_perm="perm[A->C]", b="vec[A]")
 def lu_solve(
     L: CSC,
     U: CSC,

@@ -12,6 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..contracts import domains
 from .csc import CSC
 
 __all__ = ["BlockMatrix"]
@@ -77,6 +78,7 @@ class BlockMatrix:
 
     # ------------------------------------------------------------------
     @classmethod
+    @domains(A="matrix[S]", row_splits="index[S]", col_splits="index[S]")
     def from_matrix(cls, A: CSC, row_splits: np.ndarray, col_splits: np.ndarray) -> "BlockMatrix":
         """Partition a CSC matrix along contiguous index ranges.
 

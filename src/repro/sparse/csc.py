@@ -16,6 +16,8 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from ..contracts import domains
+
 __all__ = ["CSC"]
 
 
@@ -217,6 +219,7 @@ class CSC:
         order = np.argsort(self.indices, kind="stable")
         return CSC(n_cols, n_rows, indptr, col_of[order], self.data[order])
 
+    @domains(row_perm="perm[A->B]", col_perm="perm[C->D]")
     def permute(self, row_perm: np.ndarray | None = None, col_perm: np.ndarray | None = None) -> "CSC":
         """Return ``B`` with ``B[i, j] = A[row_perm[i], col_perm[j]]``.
 
@@ -251,6 +254,7 @@ class CSC:
             a = a.copy()
         return a
 
+    @domains(returns="matrix[local:block]")
     def submatrix(self, r0: int, r1: int, c0: int, c1: int) -> "CSC":
         """Extract the contiguous block ``A[r0:r1, c0:c1]``.
 
@@ -280,6 +284,7 @@ class CSC:
             data = np.empty(0, dtype=np.float64)
         return CSC(r1 - r0, ncols, indptr, indices, data)
 
+    @domains(rows="index[R]", cols="index[C]", returns="matrix[local:block]")
     def extract(self, rows: np.ndarray, cols: np.ndarray) -> "CSC":
         """General (non-contiguous) submatrix ``A[np.ix_(rows, cols)]``."""
         rows = np.asarray(rows, dtype=np.int64)

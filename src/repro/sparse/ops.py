@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import domains
 from .csc import CSC
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
 ]
 
 
+@domains(L="matrix[S]", b="vec[S]", returns="vec[S]")
 def lower_solve(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.ndarray:
     """Solve ``L x = b`` for dense ``b``, L lower triangular in CSC.
 
@@ -53,6 +55,7 @@ def lower_solve(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.ndarray:
     return x
 
 
+@domains(U="matrix[S]", b="vec[S]", returns="vec[S]")
 def upper_solve(U: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``U x = b`` for dense ``b``, U upper triangular in CSC."""
     n = U.n_cols
@@ -71,6 +74,7 @@ def upper_solve(U: CSC, b: np.ndarray) -> np.ndarray:
     return x
 
 
+@domains(L="matrix[S]", b="vec[S]", returns="vec[S]")
 def unit_lower_solve_T(L: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``L.T x = b`` with unit-diagonal lower-triangular L (CSC).
 
@@ -89,6 +93,7 @@ def unit_lower_solve_T(L: CSC, b: np.ndarray) -> np.ndarray:
     return x
 
 
+@domains(U="matrix[S]", b="vec[S]", returns="vec[S]")
 def upper_solve_T(U: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``U.T x = b`` with upper-triangular U (CSC), forward sweep."""
     n = U.n_cols

@@ -1,0 +1,13 @@
+"""Seeded violation: composing permutations whose spaces do not chain.
+
+``compose(p, q) = p[q]`` requires q's *inner* space to equal p's
+*outer* space; here p ends in btf while q starts in nd.  The checker
+must report D3.
+"""
+from repro.contracts import domains
+from repro.ordering.perm import compose
+
+
+@domains(p="perm[global->btf]", q="perm[nd->global]")
+def bad_chain(p, q):
+    return compose(p, q)

@@ -1,0 +1,13 @@
+"""Seeded violation: the same permutation applied twice.
+
+After ``y = x[p]`` the vector lives in btf space; indexing it with
+``p`` (which consumes global-space data) again is the classic
+double-permutation bug.  The checker must report D2.
+"""
+from repro.contracts import domains
+
+
+@domains(x="vec[global]", p="perm[global->btf]")
+def permute_twice(x, p):
+    y = x[p]
+    return y[p]

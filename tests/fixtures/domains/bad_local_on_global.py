@@ -1,0 +1,10 @@
+"""Seeded violation: a block-local index array used on a global vector.
+
+``python -m repro analyze domains --path <this file>`` must report D4.
+"""
+from repro.contracts import domains
+
+
+@domains(x="vec[global]", rows="index[local:block]")
+def gather(x, rows):
+    return x[rows]

@@ -1,0 +1,12 @@
+"""Clean fixture: permute into btf space and back out again.
+
+Fully annotated and domain-correct — the checker must report nothing.
+"""
+from repro.contracts import domains
+from repro.ordering.perm import invert
+
+
+@domains(x="vec[global]", p="perm[global->btf]", returns="vec[global]")
+def roundtrip(x, p):
+    y = x[p]
+    return y[invert(p)]

@@ -391,6 +391,54 @@ class TestLint:
         out = lint_source("def f(a=[]):\n    pass\n", "util/x.py")
         assert str(out[0]).startswith("util/x.py:1 R4 ")
 
+    def test_r5_module_level_rng_in_kernel(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        out = lint_source(src, "core/numeric.py")
+        assert [f.rule for f in out] == ["R5"]
+
+    def test_r5_applies_to_ordering_and_graph(self):
+        src = "import numpy as np\np = np.random.permutation(8)\n"
+        assert [f.rule for f in lint_source(src, "ordering/perm.py")] == ["R5"]
+        assert [f.rule for f in lint_source(src, "graph/dfs.py")] == ["R5"]
+
+    def test_r5_from_import_numpy_random(self):
+        out = lint_source("from numpy.random import default_rng\n", "sparse/ops.py")
+        assert [f.rule for f in out] == ["R5"]
+
+    def test_r5_stdlib_random_import(self):
+        out = lint_source("import random\n", "solvers/gp.py")
+        assert [f.rule for f in out] == ["R5"]
+
+    def test_r5_time_derived_seed(self):
+        src = (
+            "def f(default_rng, datetime):\n"
+            "    return default_rng(int(datetime.now().timestamp()))\n"
+        )
+        out = lint_source(src, "core/basker.py")
+        assert [f.rule for f in out] == ["R5"]
+        assert "time-derived seed" in out[0].message
+
+    def test_r5_time_seed_also_trips_wall_clock_rule(self):
+        src = (
+            "def f(default_rng, time):\n"
+            "    return default_rng(int(time.time()))\n"
+        )
+        out = lint_source(src, "core/basker.py")
+        assert [f.rule for f in out] == ["R1", "R5"]
+
+    def test_r5_generator_annotation_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def f(n, rng: np.random.Generator):\n"
+            "    return rng.permutation(n)\n"
+        )
+        assert lint_source(src, "ordering/perm.py") == []
+
+    def test_r5_not_applied_outside_kernels(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert lint_source(src, "matrices/mesh.py") == []
+        assert lint_source(src, "cli.py") == []
+
 
 # ---------------------------------------------------------------------------
 # CLI
@@ -418,3 +466,40 @@ class TestAnalyzeCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "OK" in out
+
+    def test_analyze_lint_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["analyze", "lint", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload == {"checker": "lint", "ok": True, "findings": []}
+
+    def test_analyze_hazards_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["analyze", "hazards", "--matrix", "Power0*+",
+                   "--threads", "2", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["checker"] == "hazards" and payload["ok"] is True
+        (cfg,) = payload["configs"]
+        assert cfg["matrix"] == "Power0*+" and cfg["threads"] == 2
+        assert cfg["ok"] is True and cfg["findings"] == []
+        assert cfg["tasks"] > 0
+
+    def test_analyze_conservation_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["analyze", "conservation", "--matrix", "Xyce0*",
+                   "--threads", "4", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["checker"] == "conservation" and payload["ok"] is True
+        assert all(c["ok"] and not c["findings"] for c in payload["configs"])

@@ -1,0 +1,90 @@
+"""Property-based tests for repro.ordering.perm.
+
+Hypothesis generates arbitrary permutations and checks the algebraic
+laws the rest of the package leans on (the new->old fancy-indexing
+convention): ``invert`` is an involution and a true inverse under
+``compose``, ``compose`` matches chained fancy indexing, and the
+vectorized ``is_permutation`` agrees with a first-principles check.
+The module doctests (the convention examples) run here too.
+"""
+
+import doctest
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.ordering.perm as perm_mod
+from repro.ordering.perm import (
+    apply_to_vector,
+    compose,
+    identity,
+    invert,
+    is_permutation,
+    random_permutation,
+)
+
+
+def permutations(max_n=64):
+    return st.integers(min_value=0, max_value=max_n).map(
+        lambda n: random_permutation(n, np.random.default_rng(n * 7919 + 1))
+    ) | st.integers(min_value=0, max_value=2**31).map(
+        lambda seed: random_permutation(seed % 64, np.random.default_rng(seed))
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(permutations())
+def test_invert_is_involution(p):
+    assert np.array_equal(invert(invert(p)), p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(permutations())
+def test_invert_round_trips_under_compose(p):
+    n = p.size
+    assert np.array_equal(compose(p, invert(p)), identity(n))
+    assert np.array_equal(compose(invert(p), p), identity(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_compose_matches_chained_indexing(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 64))
+    p = random_permutation(n, rng)
+    q = random_permutation(n, rng)
+    x = rng.standard_normal(n)
+    assert np.array_equal(x[p][q], x[compose(p, q)])
+    assert np.array_equal(apply_to_vector(q, apply_to_vector(p, x)),
+                          apply_to_vector(compose(p, q), x))
+
+
+@settings(max_examples=100, deadline=None)
+@given(permutations())
+def test_is_permutation_accepts_all_permutations(p):
+    assert is_permutation(p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-4, max_value=70), max_size=64))
+def test_is_permutation_matches_reference(vals):
+    p = np.array(vals, dtype=np.int64)
+    reference = sorted(vals) == list(range(len(vals)))
+    assert is_permutation(p) == reference
+
+
+def test_is_permutation_rejects_shapes_and_dtypes():
+    assert is_permutation(np.empty(0, dtype=np.int64))        # empty is valid
+    assert not is_permutation(np.array([[0, 1], [1, 0]]))     # 2-D
+    assert not is_permutation(np.array([0.0, 1.0]))           # float dtype
+    assert not is_permutation(np.array([0, 0, 1]))            # duplicate
+    assert not is_permutation(np.array([0, 3]))               # out of range
+    assert not is_permutation(np.array([-1, 0]))              # negative
+
+
+def test_perm_doctests():
+    failures, tested = doctest.testmod(perm_mod)
+    assert tested > 0
+    assert failures == 0
