@@ -1,7 +1,13 @@
-"""Benchmark harness: cached runners, performance profiles, reporting."""
+"""Benchmark harness: cached runners, performance profiles, reporting.
+
+Also home of the *wall-clock* microbenchmarks (:mod:`.wallclock`) —
+the only package allowed to read real clocks (lint rule R1 bans them
+from the kernel packages).
+"""
 
 from .perfprofile import geometric_mean, performance_profile
 from .report import ascii_series, emit, format_table
+from .wallclock import check_regression, run_wallclock
 from .runner import (
     basker_numeric,
     basker_seconds,
@@ -31,4 +37,6 @@ __all__ = [
     "pmkl_seconds",
     "slumt_seconds",
     "clear_caches",
+    "run_wallclock",
+    "check_regression",
 ]

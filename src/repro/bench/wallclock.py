@@ -1,0 +1,332 @@
+"""Wall-clock microbenchmarks with a regression gate.
+
+Everything else in this repository prices work through simulated
+machine models (:mod:`repro.parallel`); this module is the one place
+that measures *real* time — which is why it lives in ``bench/``, the
+package exempt from lint rule R1 (no wall clocks in kernel packages).
+
+It times the four numeric phases on suite matrices and the Xyce
+transient sequence:
+
+* ``factor/<matrix>`` — Gilbert–Peierls factorization of the largest
+  BTF block (tracking only, no vectorized counterpart);
+* ``reach/<matrix>`` — a full symbolic reach sweep over that block
+  (tracking only);
+* ``refactor/<matrix>`` — values-only refactorization: reference
+  per-column loop (``gp_refactor_reference``) vs the level-scheduled
+  vectorized replay (``gp_refactor``);
+* ``solve/<matrix>`` — dense-RHS L/U triangular solves: reference
+  loops vs the compiled :class:`~repro.sparse.schedule.TriangularSchedule`;
+* ``xyce_refactor_sequence`` — the paper's §V-F workload end to end:
+  a fixed-pattern Jacobian sequence refactored with KLU, seed-style
+  per-step permute/submatrix/loop vs the cached-gather + schedule
+  replay of ``KLU.refactor_fast``.
+
+Results are written as ``BENCH_wallclock.json``.  The regression gate
+compares *speedup ratios* (vectorized vs reference on the same machine,
+so they are machine-portable) against a committed baseline, failing on
+a relative drop beyond the tolerance and on hard floors recorded in the
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..graph.dfs import ReachWorkspace, topo_reach
+from ..matrices import get_matrix
+from ..parallel.ledger import CostLedger
+from ..solvers import KLU
+from ..solvers.gp import GPResult, gp_factor, gp_refactor, gp_refactor_reference
+from ..sparse.csc import CSC
+from ..sparse.ops import (
+    lower_solve,
+    lower_solve_reference,
+    upper_solve,
+    upper_solve_reference,
+)
+
+__all__ = ["run_wallclock", "check_regression", "DEFAULT_MATRICES", "QUICK_MATRICES"]
+
+DEFAULT_MATRICES = ["Xyce0*", "Xyce1*", "circuit_4", "memplus", "scircuit"]
+QUICK_MATRICES = ["Xyce0*", "circuit_4"]
+SCHEMA_VERSION = 1
+
+# Hard floors on speedup ratios, written into the baseline and enforced
+# by the gate (prefix match on the case key).
+SPEEDUP_FLOORS = {"xyce_refactor_sequence": 5.0, "solve/": 3.0}
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs (seconds)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _largest_block_problem(name: str, rng: np.random.Generator):
+    """The largest BTF diagonal block of a suite matrix, as a
+    (block matrix, GP factors) pair — the hot kernel of every solver."""
+    A = get_matrix(name)
+    klu = KLU()
+    num = klu.factor(A)
+    splits = num.symbolic.block_splits
+    sizes = np.diff(splits)
+    k = int(np.argmax(sizes))
+    lo, hi = int(splits[k]), int(splits[k + 1])
+    blk = num.M.submatrix(lo, hi, lo, hi)
+    prior = num.block_lu[k]
+    # Identity pivot order: the block is already pivot-permuted in M.
+    fixed = GPResult(
+        prior.L, prior.U, np.arange(hi - lo, dtype=np.int64), CostLedger()
+    )
+    return A, blk, fixed
+
+
+def _perturbed(blk: CSC, rng: np.random.Generator) -> CSC:
+    """Same pattern, values jittered — one step of a Newton sequence."""
+    data = blk.data * (1.0 + 0.01 * rng.standard_normal(blk.nnz))
+    return CSC(blk.n_rows, blk.n_cols, blk.indptr, blk.indices, data)
+
+
+def _bench_matrix(name: str, repeats: int, rng: np.random.Generator) -> Dict[str, dict]:
+    A, blk, fixed = _largest_block_problem(name, rng)
+    n = blk.n_cols
+    cases: Dict[str, dict] = {}
+
+    # factor: full Gilbert–Peierls on the block (tracking only).
+    cases[f"factor/{name}"] = {
+        "seconds": _best_of(lambda: gp_factor(blk), repeats),
+        "n": n,
+        "nnz": blk.nnz,
+    }
+
+    # reach: symbolic sweep over the final L pattern (tracking only).
+    L = fixed.L
+    pinv = np.arange(n, dtype=np.int64)
+
+    def _reach_sweep():
+        ws = ReachWorkspace(n)
+        for k in range(n):
+            rows = blk.indices[blk.indptr[k] : blk.indptr[k + 1]]
+            ws.next_stamp()
+            topo_reach(L.indptr, L.indices, rows, pinv, ws)
+
+    cases[f"reach/{name}"] = {"seconds": _best_of(_reach_sweep, repeats), "n": n}
+
+    # refactor: reference loop vs vectorized schedule replay.
+    blk2 = _perturbed(blk, rng)
+    t_compile0 = time.perf_counter()
+    vec0 = gp_refactor(blk2, fixed)  # compiles + caches the schedule
+    compile_s = time.perf_counter() - t_compile0
+    t_ref = _best_of(lambda: gp_refactor_reference(blk2, fixed), repeats)
+    t_vec = _best_of(lambda: gp_refactor(blk2, fixed), repeats)
+    cases[f"refactor/{name}"] = {
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "first_call_s": compile_s,
+        "speedup": t_ref / t_vec if t_vec > 0 else float("inf"),
+        "n": n,
+        "factor_nnz": fixed.L.nnz + fixed.U.nnz,
+        "levels": fixed.schedule.n_stages if fixed.schedule is not None else None,
+    }
+
+    # solve: dense-RHS triangular solves on the refactored factors.
+    Lf, Uf = vec0.L, vec0.U
+    b = rng.standard_normal(n)
+    lower_solve(Lf, b)  # warm the cached TriangularSchedules
+    upper_solve(Uf, b)
+    t_ref = _best_of(
+        lambda: upper_solve_reference(Uf, lower_solve_reference(Lf, b)), repeats
+    )
+    t_vec = _best_of(lambda: upper_solve(Uf, lower_solve(Lf, b)), repeats)
+    cases[f"solve/{name}"] = {
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec if t_vec > 0 else float("inf"),
+        "n": n,
+        "factor_nnz": Lf.nnz + Uf.nnz,
+    }
+    return cases
+
+
+def _klu_refactor_reference(klu: KLU, A: CSC, numeric):
+    """The seed implementation of ``KLU.refactor_fast``: per-step
+    permute + submatrix extraction + per-column reference loops.  Kept
+    here as the wall-clock oracle for the sequence benchmark."""
+    from ..errors import SingularMatrixError
+
+    symbolic = numeric.symbolic
+    splits = symbolic.block_splits
+    M = A.permute(numeric.row_perm, symbolic.col_perm)
+    total = CostLedger()
+    total.mem_words += A.nnz
+    block_lu = []
+    block_ledgers = []
+    block_ws = []
+    row_perm = numeric.row_perm.copy()
+    for k in range(symbolic.n_blocks):
+        lo, hi = int(splits[k]), int(splits[k + 1])
+        bblk = M.submatrix(lo, hi, lo, hi)
+        led = CostLedger()
+        prior = numeric.block_lu[k]
+        try:
+            fixed = GPResult(prior.L, prior.U, np.arange(hi - lo, dtype=np.int64), led)
+            lu = gp_refactor_reference(bblk, fixed, ledger=led)
+        except SingularMatrixError:
+            lu = gp_factor(bblk, pivot_tol=klu.pivot_tol, ledger=led)
+            row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+        block_lu.append(lu)
+        block_ledgers.append(led)
+        block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
+        total.add(led)
+    Mfinal = A.permute(row_perm, symbolic.col_perm)
+    from ..solvers.klu import KLUNumeric
+
+    return KLUNumeric(
+        symbolic=symbolic,
+        block_lu=block_lu,
+        row_perm=row_perm,
+        col_perm=symbolic.col_perm,
+        M=Mfinal,
+        ledger=total,
+        block_ledgers=block_ledgers,
+        block_working_sets=block_ws,
+        row_scale=None,
+    )
+
+
+def _bench_xyce_sequence(n_matrices: int) -> dict:
+    """The §V-F workload: one fixed-pattern Jacobian sequence, KLU
+    values-only refactorization, seed loop vs schedule replay."""
+    from ..xyce import matrix_sequence, xyce1_analog
+
+    ckt = xyce1_analog()
+    seq = matrix_sequence(ckt, n_matrices=n_matrices)
+    klu = KLU()
+    base = klu.factor(seq[0])
+
+    t0 = time.perf_counter()
+    num_ref = base
+    for A in seq[1:]:
+        num_ref = _klu_refactor_reference(klu, A, num_ref)
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    num_vec = base
+    for A in seq[1:]:
+        num_vec = klu.refactor_fast(A, num_vec)
+    t_vec = time.perf_counter() - t0
+
+    # Cross-check: both paths must produce the same factors.
+    drift = 0.0
+    for lu_r, lu_v in zip(num_ref.block_lu, num_vec.block_lu):
+        if lu_r.U.nnz:
+            drift = max(drift, float(np.abs(lu_r.U.data - lu_v.U.data).max()))
+    return {
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec if t_vec > 0 else float("inf"),
+        "n_matrices": len(seq),
+        "n": seq[0].n_rows,
+        "nnz": seq[0].nnz,
+        "max_factor_drift": drift,
+    }
+
+
+def run_wallclock(
+    matrices: Optional[List[str]] = None,
+    xyce_matrices: int = 50,
+    repeats: int = 3,
+    quick: bool = False,
+    seed: int = 0,
+) -> dict:
+    """Run the wall-clock benchmark suite; returns the result document."""
+    if matrices is None:
+        matrices = QUICK_MATRICES if quick else DEFAULT_MATRICES
+    if quick and xyce_matrices > 20:
+        xyce_matrices = 20
+    rng = np.random.default_rng(seed)
+    cases: Dict[str, dict] = {}
+    for name in matrices:
+        cases.update(_bench_matrix(name, repeats, rng))
+    cases["xyce_refactor_sequence"] = _bench_xyce_sequence(xyce_matrices)
+
+    speedups = {k: v["speedup"] for k, v in cases.items() if "speedup" in v}
+    solve_sp = [v for k, v in speedups.items() if k.startswith("solve/")]
+    refac_sp = [v for k, v in speedups.items() if k.startswith("refactor/")]
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "matrices": list(matrices),
+            "xyce_matrices": xyce_matrices,
+            "repeats": repeats,
+            "quick": quick,
+            "seed": seed,
+        },
+        "cases": cases,
+        "summary": {
+            "xyce_refactor_speedup": cases["xyce_refactor_sequence"]["speedup"],
+            "min_refactor_speedup": min(refac_sp) if refac_sp else None,
+            "min_solve_speedup": min(solve_sp) if solve_sp else None,
+        },
+    }
+
+
+def check_regression(
+    result: dict, baseline: dict, tolerance: float = 0.25
+) -> List[str]:
+    """Compare a result against a committed baseline.
+
+    Returns a list of human-readable failures; empty means the gate
+    passes.  Two kinds of check, both on speedup *ratios* so the gate
+    is portable across machines:
+
+    * relative: a case's speedup must not drop more than ``tolerance``
+      below the baseline's speedup for the same case key;
+    * floors: the baseline's ``floors`` mapping (prefix -> minimum
+      speedup) sets hard minimums regardless of drift.
+    """
+    failures: List[str] = []
+    base_cases = baseline.get("cases", {})
+    for key, case in result.get("cases", {}).items():
+        sp = case.get("speedup")
+        if sp is None:
+            continue
+        base_sp = base_cases.get(key, {}).get("speedup")
+        if base_sp is not None and sp < base_sp * (1.0 - tolerance):
+            failures.append(
+                f"{key}: speedup {sp:.2f}x regressed more than "
+                f"{tolerance:.0%} below baseline {base_sp:.2f}x"
+            )
+        for prefix, floor in baseline.get("floors", {}).items():
+            if key.startswith(prefix) and sp < floor:
+                failures.append(
+                    f"{key}: speedup {sp:.2f}x below the required floor {floor:.1f}x"
+                )
+    return failures
+
+
+def save_json(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

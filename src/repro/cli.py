@@ -16,6 +16,10 @@ Small utilities a downstream user reaches for first:
   index-domain checker that tracks permutation spaces through the
   solver.  All subcommands accept ``--format json`` for machine
   consumption and exit nonzero on findings (the CI gate).
+* ``bench`` — wall-clock microbenchmarks (factor/refactor/solve/reach
+  plus the Xyce refactorization sequence), written to
+  ``BENCH_wallclock.json``; ``--check`` gates speedup ratios against
+  the committed baseline.
 """
 
 from __future__ import annotations
@@ -218,6 +222,52 @@ def _cmd_analyze(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench.wallclock import (
+        SPEEDUP_FLOORS,
+        check_regression,
+        load_json,
+        run_wallclock,
+        save_json,
+    )
+
+    doc = run_wallclock(
+        matrices=args.matrix or None,
+        xyce_matrices=args.xyce,
+        repeats=args.repeats,
+        quick=args.quick,
+        seed=args.seed,
+    )
+    for key in sorted(doc["cases"]):
+        case = doc["cases"][key]
+        if "speedup" in case:
+            print(f"{key:28s} ref {case['reference_s']:.4f}s  "
+                  f"vec {case['vectorized_s']:.4f}s  "
+                  f"speedup {case['speedup']:.2f}x")
+        else:
+            print(f"{key:28s} {case['seconds']:.4f}s")
+    s = doc["summary"]
+    print(f"xyce sequence speedup: {s['xyce_refactor_speedup']:.2f}x   "
+          f"min refactor: {s['min_refactor_speedup']:.2f}x   "
+          f"min solve: {s['min_solve_speedup']:.2f}x")
+    save_json(doc, args.output)
+    print(f"wrote {args.output}")
+    if args.baseline_out:
+        baseline = dict(doc)
+        baseline["floors"] = dict(SPEEDUP_FLOORS)
+        save_json(baseline, args.baseline_out)
+        print(f"wrote baseline {args.baseline_out}")
+    if args.check:
+        baseline = load_json(args.baseline)
+        failures = check_regression(doc, baseline, tolerance=args.tolerance)
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        print(f"bench check vs {args.baseline}: "
+              f"{'FAIL' if failures else 'OK'} ({len(failures)} failure(s))")
+        return 1 if failures else 0
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -260,6 +310,28 @@ def main(argv=None) -> int:
                    help="domains only: check these file(s) against the package "
                         "contracts instead of the whole tree (repeatable)")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("bench", help="wall-clock microbenchmarks + regression gate")
+    p.add_argument("--quick", action="store_true",
+                   help="small matrix set and short Xyce sequence (CI mode)")
+    p.add_argument("--matrix", action="append",
+                   help="suite matrix to bench (repeatable; default: built-in set)")
+    p.add_argument("--xyce", type=int, default=50,
+                   help="length of the Xyce refactorization sequence (default 50)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repetitions, best-of (default 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="BENCH_wallclock.json",
+                   help="result JSON path (default: BENCH_wallclock.json)")
+    p.add_argument("--baseline", default="benchmarks/results/BENCH_wallclock_baseline.json",
+                   help="baseline JSON for --check")
+    p.add_argument("--baseline-out",
+                   help="also write the result (plus speedup floors) as a new baseline")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero if speedups regress >tolerance vs the baseline")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed relative speedup drop for --check (default 0.25)")
+    p.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -19,19 +19,26 @@ side.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..contracts import domains
+from ..errors import SingularMatrixError
 from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel, SANDY_BRIDGE
 from ..parallel.sim import Schedule, SimTask, simulate
 from ..parallel.threads import parallel_map
-from ..solvers.gp import GP_DEFAULT_PIVOT_TOL, GPResult, gp_factor
+from ..solvers.gp import GP_DEFAULT_PIVOT_TOL, GPResult, gp_factor, gp_refactor
 from ..solvers.triangular import lu_solve_factors
 from ..sparse.csc import CSC
+from ..sparse.schedule import (
+    ScheduleCompileError,
+    diagonal_block_gathers,
+    permutation_gather,
+)
 from .numeric import NDNumericBlock, TaskBuilder, factor_nd_block
 from .structure import BaskerSymbolic
 from .symbolic import DEFAULT_ND_THRESHOLD, analyze as symbolic_analyze
@@ -56,6 +63,9 @@ class BaskerNumeric:
     # + factor assembly); repro.analysis.conservation balances
     # sum(task ledgers) + overhead_ledger == ledger.
     overhead_ledger: CostLedger = field(default_factory=CostLedger)
+    # Value-gather maps + per-block elimination schedules reused by
+    # refactor_fast across a fixed-pattern sequence (None until then).
+    refactor_cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -252,6 +262,93 @@ class Basker:
         the new values.
         """
         return self.factor(A, symbolic=numeric.symbolic)
+
+    # ------------------------------------------------------------------
+    @domains(A="matrix[global]")
+    def refactor_fast(self, A: CSC, numeric: BaskerNumeric) -> BaskerNumeric:
+        """Values-only refactorization on fixed patterns and pivots.
+
+        Replays every coarse block's factors through a cached
+        elimination schedule (:mod:`repro.sparse.schedule`) — no reach
+        DFS, no pivot search, no per-step permutation rebuild.  Falls
+        back to :meth:`refactor` (fresh pivoting) when a reused pivot
+        degenerates or the pattern stops matching the cache.
+
+        The result carries *no* task DAG (``tasks == []`` with the whole
+        ledger booked as overhead, which keeps the conservation checks
+        consistent); modelled parallel times still come from
+        :meth:`refactor`.  This is the wall-clock sequence path.
+        """
+        try:
+            return self._refactor_fast(A, numeric)
+        except (SingularMatrixError, ScheduleCompileError):
+            return self.refactor(A, numeric)
+
+    def _refactor_fast(self, A: CSC, numeric: BaskerNumeric) -> BaskerNumeric:
+        sym = numeric.symbolic
+        splits = sym.block_splits
+        n = sym.n
+        cache = numeric.refactor_cache
+        if (
+            cache is None
+            or not np.array_equal(A.indptr, cache["a_indptr"])
+            or not np.array_equal(A.indices, cache["a_indices"])
+            or not np.array_equal(numeric.row_perm, cache["row_perm"])
+        ):
+            m_indptr, m_indices, m_gather = permutation_gather(
+                A, numeric.row_perm, sym.col_perm
+            )
+            cache = {
+                "a_indptr": A.indptr,
+                "a_indices": A.indices,
+                "row_perm": numeric.row_perm.copy(),
+                "m": (m_indptr, m_indices, m_gather),
+                "blocks": diagonal_block_gathers(m_indptr, m_indices, splits),
+                "sched": {},
+            }
+            numeric.refactor_cache = cache
+        m_indptr, m_indices, m_gather = cache["m"]
+        m_data = A.data[m_gather]
+        M = CSC(n, n, m_indptr, m_indices, m_data)
+        total = CostLedger()
+        total.mem_words += A.nnz
+
+        fine_lu: Dict[int, GPResult] = {}
+        nd_numeric: Dict[int, NDNumericBlock] = {}
+        for k in range(sym.n_blocks):
+            lo, hi = int(splits[k]), int(splits[k + 1])
+            if hi == lo:
+                continue
+            bptr, brows, bgather = cache["blocks"][k]
+            blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
+            L, U = numeric.block_factors(k)
+            led = CostLedger()
+            # row_perm already folds in all pivoting: identity order.
+            fixed = GPResult(L, U, np.arange(hi - lo, dtype=np.int64), led,
+                             schedule=cache["sched"].get(k))
+            lu = gp_refactor(blk, fixed, ledger=led)
+            cache["sched"][k] = lu.schedule
+            total.add(led)
+            if k in numeric.fine_lu:
+                fine_lu[k] = lu
+            else:
+                nd = numeric.nd_numeric[k]
+                nd_numeric[k] = dataclasses.replace(
+                    nd, L=lu.L, U=lu.U, ledger=led, overhead=CostLedger()
+                )
+        return BaskerNumeric(
+            symbolic=sym,
+            fine_lu=fine_lu,
+            nd_numeric=nd_numeric,
+            row_perm=numeric.row_perm.copy(),
+            col_perm=sym.col_perm,
+            M=M,
+            tasks=[],
+            task_labels={},
+            ledger=total,
+            overhead_ledger=total.copy(),
+            refactor_cache=cache,
+        )
 
     # ------------------------------------------------------------------
     @domains(b="vec[global]", returns="vec[global]")

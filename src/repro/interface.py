@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from .core import Basker
+from .errors import SingularMatrixError
 from .parallel.machine import MachineModel, SANDY_BRIDGE
 from .solvers import KLU, SupernodalLU, slu_mt
 from .solvers.extras import refine_solve, solve_multi, solve_transpose
@@ -61,19 +62,43 @@ class DirectSolver:
         self._symbolic = None
         self._numeric = None
         self._n = None
+        self._pattern = None  # (indptr, indices) of the factored matrix
 
     # ------------------------------------------------------------------
     def symbolic_factorization(self, A: CSC) -> "DirectSolver":
         self._symbolic = self._impl.analyze(A)
         self._n = A.n_rows
         self._numeric = None
+        self._pattern = None
         return self
 
     def numeric_factorization(self, A: CSC) -> "DirectSolver":
-        """Factor (or refactor when the pattern was already analyzed)."""
+        """Factor (or refactor when the pattern was already analyzed).
+
+        When a prior numeric factorization exists and ``A`` has exactly
+        the same pattern, the solver's values-only ``refactor_fast``
+        path is taken (fixed pivot order, compiled elimination
+        schedule).  If a reused pivot degenerates
+        (:class:`~repro.errors.SingularMatrixError`), the call falls
+        back to a full numeric factorization with fresh pivoting — the
+        standard klu_refactor/klu_factor usage pattern.
+        """
         if self._symbolic is None:
             self.symbolic_factorization(A)
+        prior = self._numeric
+        if (
+            prior is not None
+            and self._pattern is not None
+            and np.array_equal(A.indptr, self._pattern[0])
+            and np.array_equal(A.indices, self._pattern[1])
+        ):
+            try:
+                self._numeric = self._impl.refactor_fast(A, prior)
+                return self
+            except SingularMatrixError:
+                pass  # fresh pivoting below
         self._numeric = self._impl.factor(A, symbolic=self._symbolic)
+        self._pattern = (A.indptr, A.indices)
         return self
 
     def solve(self, b: np.ndarray) -> np.ndarray:

@@ -21,6 +21,7 @@ operation is counted into a :class:`~repro.parallel.ledger.CostLedger`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -29,8 +30,20 @@ from ..errors import SingularMatrixError
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..parallel.ledger import CostLedger
 from ..sparse.csc import CSC
+from ..sparse.schedule import (
+    RefactorSchedule,
+    adopt_solve_schedules,
+    compile_refactor_schedule,
+)
 
-__all__ = ["GPResult", "gp_factor", "GP_DEFAULT_PIVOT_TOL"]
+__all__ = [
+    "GPResult",
+    "gp_factor",
+    "gp_refactor",
+    "gp_refactor_reference",
+    "ensure_refactor_schedule",
+    "GP_DEFAULT_PIVOT_TOL",
+]
 
 GP_DEFAULT_PIVOT_TOL = 0.001  # KLU's default diagonal-preference threshold
 
@@ -49,6 +62,12 @@ class GPResult:
     U: CSC
     row_perm: np.ndarray
     ledger: CostLedger
+    # Compiled elimination schedule for values-only refactorization on
+    # this pattern (see :mod:`repro.sparse.schedule`).  Populated lazily
+    # by :func:`ensure_refactor_schedule` and propagated to the results
+    # of :func:`gp_refactor`, so a sequence of same-pattern matrices
+    # compiles once and replays vectorized thereafter.
+    schedule: Optional[RefactorSchedule] = None
 
     @property
     def n(self) -> int:
@@ -68,6 +87,17 @@ def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
     return out
 
 
+def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
+    """The compiled refactor schedule for ``prior``'s pattern against
+    ``A``'s pattern, compiling and caching it on ``prior`` if absent or
+    stale (pattern / pivot-order change ⇒ recompile)."""
+    sched = prior.schedule
+    if sched is None or not sched.matches(prior.L, prior.U, A, prior.row_perm):
+        sched = compile_refactor_schedule(prior.L, prior.U, A, prior.row_perm)
+        prior.schedule = sched
+    return sched
+
+
 @domains(A="matrix[S]")
 def gp_refactor(
     A: CSC,
@@ -83,7 +113,48 @@ def gp_refactor(
     :class:`SingularMatrixError` when a reused pivot falls to zero (or
     below ``pivot_floor``); callers then fall back to a full
     :func:`gp_factor` with fresh pivoting, exactly like KLU users do.
+
+    Vectorized level-scheduled replay of :func:`gp_refactor_reference`
+    through a compiled :class:`~repro.sparse.schedule.RefactorSchedule`
+    (cached on ``prior`` and propagated to the result, so sequences of
+    same-pattern matrices compile once).  Values match the reference up
+    to summation order; ledger counts are identical.  Differences on
+    *failure* only: the reported singular column is the first in
+    schedule order (not necessarily the smallest), and no partial costs
+    are recorded (the reference loop records the columns it completed).
     """
+    n = A.n_cols
+    if A.n_rows != n:
+        raise ValueError("GP refactorization requires a square matrix")
+    if prior.L.shape != (n, n):
+        raise ValueError("prior factors have the wrong shape")
+    led = ledger if ledger is not None else CostLedger()
+    if n == 0:
+        e = CSC.empty(0, 0)
+        return GPResult(e, e, np.empty(0, dtype=np.int64), led)
+    sched = ensure_refactor_schedule(prior, A)
+    Lx, Ux = sched.run(A.data, led, pivot_floor=pivot_floor)
+    L, U = prior.L, prior.U
+    # Pattern arrays and the row permutation are shared with the prior
+    # factors (immutable by convention): across a fixed-pattern
+    # sequence, schedule revalidation then succeeds on object identity
+    # instead of O(nnz) comparisons.
+    Lnew = CSC(n, n, L.indptr, L.indices, Lx)
+    Unew = CSC(n, n, U.indptr, U.indices, Ux)
+    # Keep compiled triangular-solve schedules warm across refactors.
+    adopt_solve_schedules(L, Lnew)
+    adopt_solve_schedules(U, Unew)
+    return GPResult(Lnew, Unew, prior.row_perm, led, schedule=sched)
+
+
+@domains(A="matrix[S]")
+def gp_refactor_reference(
+    A: CSC,
+    prior: GPResult,
+    ledger: CostLedger | None = None,
+    pivot_floor: float = 0.0,
+) -> GPResult:
+    """Reference per-column loop for :func:`gp_refactor` (oracle)."""
     n = A.n_cols
     if A.n_rows != n:
         raise ValueError("GP refactorization requires a square matrix")

@@ -29,10 +29,70 @@ from ..ordering.perm import invert
 from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel
 from ..sparse.csc import CSC
+from ..sparse.schedule import (
+    BlockedRefactorSchedule,
+    ScheduleCompileError,
+    adopt_solve_schedules,
+    diagonal_block_gathers,
+    permutation_gather,
+)
 from .gp import GP_DEFAULT_PIVOT_TOL, GPResult, gp_factor, gp_refactor
 from .triangular import lu_solve_factors
 
 __all__ = ["KLUSymbolic", "KLUNumeric", "KLU"]
+
+
+@dataclass
+class _KLURefactorCache:
+    """Fixed-pattern value-gather maps for the refactor_fast sequence.
+
+    Compiled once per (input pattern, final row permutation): turning
+    ``A.permute(row_perm, col_perm)`` and every diagonal-block
+    ``submatrix`` into pure value gathers, with no CSC reconstruction
+    per step.
+    """
+
+    a_indptr: np.ndarray
+    a_indices: np.ndarray
+    row_perm: np.ndarray
+    m_indptr: np.ndarray
+    m_indices: np.ndarray
+    m_gather: np.ndarray
+    blocks: List[tuple]        # per block: (indptr, indices, gather into M.data)
+    # Flattened all-blocks elimination schedule (compiled lazily from a
+    # numeric object's factor patterns) plus the exact pattern arrays it
+    # was compiled for, used to revalidate cheaply (object identity
+    # along a sequence, full comparison otherwise).
+    replay: Optional[BlockedRefactorSchedule] = None
+    replay_patterns: Optional[List[tuple]] = None
+
+    def matches(self, A: CSC, row_perm: np.ndarray) -> bool:
+        return (
+            (A.indptr is self.a_indptr or np.array_equal(A.indptr, self.a_indptr))
+            and (A.indices is self.a_indices
+                 or np.array_equal(A.indices, self.a_indices))
+            and (row_perm is self.row_perm
+                 or np.array_equal(row_perm, self.row_perm))
+        )
+
+    def replay_matches(self, numeric: "KLUNumeric") -> bool:
+        """True when ``replay`` was compiled for exactly the factor
+        patterns held by ``numeric``'s blocks."""
+        pats = self.replay_patterns
+        if pats is None or len(pats) != len(numeric.block_lu):
+            return False
+        for lu, (lp, li, up, ui) in zip(numeric.block_lu, pats):
+            L, U = lu.L, lu.U
+            if L.indptr is lp and L.indices is li and U.indptr is up and U.indices is ui:
+                continue
+            if not (
+                np.array_equal(L.indptr, lp)
+                and np.array_equal(L.indices, li)
+                and np.array_equal(U.indptr, up)
+                and np.array_equal(U.indices, ui)
+            ):
+                return False
+        return True
 
 
 @dataclass
@@ -67,6 +127,10 @@ class KLUNumeric:
     block_ledgers: List[CostLedger]
     block_working_sets: List[float]
     row_scale: Optional[np.ndarray] = None  # equilibration factors, or None
+    # Value-gather maps reused by refactor_fast across a fixed-pattern
+    # sequence (None until the first refactor_fast, or after a pivot
+    # fallback changed the row permutation).
+    refactor_cache: Optional[_KLURefactorCache] = None
 
     @property
     def factor_nnz(self) -> int:
@@ -229,43 +293,100 @@ class KLU:
         reused pivot degenerates falls back to a full Gilbert–Peierls
         factorization of that block (fresh pivoting), matching the
         recommended klu_refactor/klu_factor usage pattern.
+
+        Across a fixed-pattern sequence, the permute/submatrix maps and
+        the per-block elimination schedules are compiled on the first
+        call and cached on the numeric objects, so every later matrix
+        is pure value gathers plus vectorized level-scheduled replay.
         """
         symbolic = numeric.symbolic
         splits = symbolic.block_splits
+        n = symbolic.n
         r = None
         if self.scale is not None:
             r = self._row_scale(A)
             A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
                     A.data * r[A.indices])
         # Reuse the *final* row permutation (pivoting included): the
-        # permuted diagonal blocks then refactor pivot-free.
-        M = A.permute(numeric.row_perm, symbolic.col_perm)
+        # permuted diagonal blocks then refactor pivot-free.  The
+        # permutation and block extraction are fixed-pattern, so they
+        # reduce to cached value gathers.
+        cache = numeric.refactor_cache
+        if cache is None or not cache.matches(A, numeric.row_perm):
+            m_indptr, m_indices, m_gather = permutation_gather(
+                A, numeric.row_perm, symbolic.col_perm
+            )
+            cache = _KLURefactorCache(
+                a_indptr=A.indptr,
+                a_indices=A.indices,
+                row_perm=numeric.row_perm,
+                m_indptr=m_indptr,
+                m_indices=m_indices,
+                m_gather=m_gather,
+                blocks=diagonal_block_gathers(m_indptr, m_indices, splits),
+            )
+            numeric.refactor_cache = cache
+        m_data = A.data[cache.m_gather]
+        M = CSC(n, n, cache.m_indptr, cache.m_indices, m_data)
         total = CostLedger()
         total.mem_words += A.nnz
+
+        # Hot path: one flattened schedule replays every block at once
+        # (compiled on the first call, revalidated by object identity
+        # along the sequence).  Falls back to the per-block loop when a
+        # reused pivot degenerates or the patterns resist compilation.
+        if cache.replay is None or not cache.replay_matches(numeric):
+            pats = [(lu.L.indptr, lu.L.indices, lu.U.indptr, lu.U.indices)
+                    for lu in numeric.block_lu]
+            try:
+                cache.replay = BlockedRefactorSchedule(splits, pats, cache.blocks)
+                cache.replay_patterns = pats
+            except ScheduleCompileError:
+                cache.replay = None
+                cache.replay_patterns = None
+        if cache.replay is not None:
+            try:
+                return self._replay_refactor(numeric, cache, m_data, M, total, r)
+            except SingularMatrixError:
+                pass  # per-block loop below re-pivots where needed
 
         block_lu: List[GPResult] = []
         block_ledgers: List[CostLedger] = []
         block_ws: List[float] = []
         row_perm = numeric.row_perm.copy()
+        fell_back = False
         for k in range(symbolic.n_blocks):
             lo, hi = int(splits[k]), int(splits[k + 1])
-            blk = M.submatrix(lo, hi, lo, hi)
+            bptr, brows, bgather = cache.blocks[k]
+            blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
             led = CostLedger()
             prior = numeric.block_lu[k]
             try:
                 # Identity pivot order within the pre-pivoted block.
                 fixed = GPResult(prior.L, prior.U,
-                                 np.arange(hi - lo, dtype=np.int64), led)
+                                 np.arange(hi - lo, dtype=np.int64), led,
+                                 schedule=prior.schedule)
                 lu = gp_refactor(blk, fixed, ledger=led)
+                # Persist the compiled schedule on the prior numeric too
+                # (covers callers that keep refactoring from one object).
+                prior.schedule = lu.schedule
             except SingularMatrixError:
                 lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
                 row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+                fell_back = True
             block_lu.append(lu)
             block_ledgers.append(led)
             block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
             total.add(led)
 
-        Mfinal = A.permute(row_perm, symbolic.col_perm)
+        if fell_back:
+            # The row permutation changed: gathers keyed to the old one
+            # no longer apply to the result.
+            Mfinal = A.permute(row_perm, symbolic.col_perm)
+            new_cache = None
+        else:
+            Mfinal = M
+            new_cache = cache
         return KLUNumeric(
             symbolic=symbolic,
             block_lu=block_lu,
@@ -276,6 +397,68 @@ class KLU:
             block_ledgers=block_ledgers,
             block_working_sets=block_ws,
             row_scale=r,
+            refactor_cache=new_cache,
+        )
+
+    # ------------------------------------------------------------------
+    def _replay_refactor(
+        self,
+        numeric: KLUNumeric,
+        cache: _KLURefactorCache,
+        m_data: np.ndarray,
+        M: CSC,
+        total: CostLedger,
+        r: Optional[np.ndarray],
+    ) -> KLUNumeric:
+        """One flattened sequence step: all blocks in a single replay.
+
+        Per-block ledgers are rebuilt from the schedule's grouped flop
+        attribution and are identical to running :func:`gp_refactor`
+        block by block.
+        """
+        symbolic = numeric.symbolic
+        splits = symbolic.block_splits
+        replay = cache.replay
+        Lx, Ux, gflops = replay.run(m_data)
+        sched = replay.schedule
+        gdiv = sched.group_div_flops
+        gcols = sched.group_columns
+        gmem = sched.group_mem_words
+        l_ptr, u_ptr = replay.l_ptr, replay.u_ptr
+        block_lu: List[GPResult] = []
+        block_ledgers: List[CostLedger] = []
+        block_ws: List[float] = []
+        for k in range(symbolic.n_blocks):
+            lo, hi = int(splits[k]), int(splits[k + 1])
+            lp, li, up, ui = cache.replay_patterns[k]
+            led = CostLedger()
+            led.sparse_flops += float(gflops[k]) + float(gdiv[k])
+            led.columns += int(gcols[k])
+            led.mem_words += int(gmem[k])
+            prior = numeric.block_lu[k]
+            Lb = CSC(hi - lo, hi - lo, lp, li, Lx[l_ptr[k]:l_ptr[k + 1]])
+            Ub = CSC(hi - lo, hi - lo, up, ui, Ux[u_ptr[k]:u_ptr[k + 1]])
+            adopt_solve_schedules(prior.L, Lb)
+            adopt_solve_schedules(prior.U, Ub)
+            # Identity pivot order within the pre-pivoted block, same
+            # as the per-block gp_refactor path.
+            lu = GPResult(Lb, Ub, np.arange(hi - lo, dtype=np.int64), led,
+                          schedule=prior.schedule)
+            block_lu.append(lu)
+            block_ledgers.append(led)
+            block_ws.append((Lb.nnz + Ub.nnz) * 12.0 + (hi - lo) * 8.0)
+            total.add(led)
+        return KLUNumeric(
+            symbolic=symbolic,
+            block_lu=block_lu,
+            row_perm=numeric.row_perm,
+            col_perm=symbolic.col_perm,
+            M=M,
+            ledger=total,
+            block_ledgers=block_ledgers,
+            block_working_sets=block_ws,
+            row_scale=r,
+            refactor_cache=cache,
         )
 
     # ------------------------------------------------------------------

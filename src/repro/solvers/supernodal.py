@@ -42,6 +42,12 @@ from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel
 from ..parallel.sim import Schedule, SimTask, simulate
 from ..sparse.csc import CSC
+from ..sparse.schedule import (
+    ScheduleCompileError,
+    adopt_solve_schedules,
+    compile_refactor_schedule,
+    permutation_gather,
+)
 from .triangular import lu_solve_factors
 
 __all__ = ["SupernodalSymbolic", "SupernodalNumeric", "SupernodalLU", "slu_mt", "SolverFailure"]
@@ -90,6 +96,9 @@ class SupernodalNumeric:
     tasks: List[SimTask]
     ledger: CostLedger
     perturbed_pivots: int
+    # Input value-gather + compiled elimination schedule reused by
+    # refactor_fast across a fixed-pattern sequence (None until then).
+    refactor_cache: Optional[dict] = None
 
     @property
     def factor_nnz(self) -> int:
@@ -440,6 +449,72 @@ class SupernodalLU:
     # ------------------------------------------------------------------
     def refactor(self, A: CSC, numeric: SupernodalNumeric) -> SupernodalNumeric:
         return self.factor(A, symbolic=numeric.symbolic)
+
+    # ------------------------------------------------------------------
+    def refactor_fast(self, A: CSC, numeric: SupernodalNumeric) -> SupernodalNumeric:
+        """Values-only refactorization on the fixed supernodal pattern.
+
+        Replays the whole factor through a cached elimination schedule
+        (:mod:`repro.sparse.schedule`) — pure value gathers plus
+        level-scheduled vectorized elimination.  Falls back to
+        :meth:`refactor` (full factor, static pivoting re-applied) when
+        the prior factor relied on perturbed pivots, a reused pivot
+        falls to zero, or the amalgamated pattern cannot be scheduled.
+        The result carries no task DAG (modelled parallel times come
+        from :meth:`refactor`); this is the wall-clock sequence path.
+        """
+        # Perturbed pivots mean the stored factors are not an exact LU
+        # of M; an exact replay would divide by near-zero pivots.
+        if numeric.perturbed_pivots:
+            return self.refactor(A, numeric)
+        sym = numeric.symbolic
+        n = sym.n
+        cache = numeric.refactor_cache
+        if (
+            cache is None
+            or not np.array_equal(A.indptr, cache["a_indptr"])
+            or not np.array_equal(A.indices, cache["a_indices"])
+        ):
+            m_indptr, m_indices, m_gather = permutation_gather(
+                A, numeric.row_perm, numeric.col_perm
+            )
+            M0 = CSC(n, n, m_indptr, m_indices, np.zeros(m_indices.size))
+            try:
+                # row_perm is pre-applied in M, so the pivot order is
+                # the identity (static pivoting: no numeric pivoting).
+                sched = compile_refactor_schedule(
+                    numeric.L, numeric.U, M0, np.arange(n, dtype=np.int64)
+                )
+            except ScheduleCompileError:
+                return self.refactor(A, numeric)
+            cache = {
+                "a_indptr": A.indptr,
+                "a_indices": A.indices,
+                "m_gather": m_gather,
+                "sched": sched,
+            }
+            numeric.refactor_cache = cache
+        led = CostLedger()
+        led.mem_words += A.nnz  # permutation / scatter traffic
+        try:
+            Lx, Ux = cache["sched"].run(A.data[cache["m_gather"]], led)
+        except SingularMatrixError:
+            return self.refactor(A, numeric)
+        Lnew = CSC(n, n, numeric.L.indptr.copy(), numeric.L.indices.copy(), Lx)
+        Unew = CSC(n, n, numeric.U.indptr.copy(), numeric.U.indices.copy(), Ux)
+        adopt_solve_schedules(numeric.L, Lnew)
+        adopt_solve_schedules(numeric.U, Unew)
+        return SupernodalNumeric(
+            symbolic=sym,
+            L=Lnew,
+            U=Unew,
+            row_perm=numeric.row_perm,
+            col_perm=numeric.col_perm,
+            tasks=[],
+            ledger=led,
+            perturbed_pivots=0,
+            refactor_cache=cache,
+        )
 
     def solve(self, numeric: SupernodalNumeric, b: np.ndarray) -> np.ndarray:
         b = np.asarray(b, dtype=np.float64)

@@ -36,7 +36,10 @@ class CSC:
     numerical cancellation during factorization).
     """
 
-    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data")
+    # ``_solve_schedules`` caches compiled triangular-solve schedules
+    # (see :mod:`repro.sparse.schedule`); patterns are immutable by
+    # convention, so the cache is valid for the object's lifetime.
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data", "_solve_schedules")
 
     def __init__(
         self,

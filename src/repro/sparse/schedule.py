@@ -1,0 +1,823 @@
+"""Elimination schedule compiler: level-scheduled vectorized kernels.
+
+The numeric hot paths of this package — values-only refactorization on a
+fixed L/U pattern (``gp_refactor``) and the dense-RHS triangular solves
+— are per-column Python loops in their reference form.  On a *fixed*
+pattern all of their control flow is known ahead of time, so it can be
+compiled once into flat gather/scatter/segment index arrays and replayed
+with whole-level NumPy operations (GLU-style level scheduling: group
+columns into dependency levels from the factor patterns, then execute
+one level per vector operation batch).
+
+Two compiled objects are produced:
+
+* :class:`TriangularSchedule` — levels of a triangular matrix for the
+  dense-RHS solves :func:`~repro.sparse.ops.lower_solve` /
+  :func:`~repro.sparse.ops.upper_solve`.  Cached on the
+  :class:`~repro.sparse.csc.CSC` object itself (patterns are immutable
+  by convention), so repeated solves against the same factor compile
+  once.
+* :class:`RefactorSchedule` — the full elimination schedule for
+  values-only refactorization against fixed ``L``/``U`` factors, a
+  fixed input pattern and a fixed pivot order.  Levels are computed on
+  the union graph of L's below-diagonal and U's above-diagonal
+  patterns: an edge ``j -> k`` (``j < k``) exists when ``L[k, j] != 0``
+  or ``U[j, k] != 0``.  That graph dominates *both* the cross-column
+  dependencies (column ``k`` consumes finished L columns ``j`` with
+  ``U[j, k] != 0``) and the within-column read-after-write ordering of
+  the sparse triangular solve (``x[j]`` is read after updates through
+  ``L[j, j'']``), so one level sweep — finalize this level's columns,
+  then apply every update they source — replays the reference
+  column-by-column loop exactly.
+
+The replay keeps :class:`~repro.parallel.ledger.CostLedger` counts
+*identical* to the reference loops (updates whose source value is zero
+are counted out, exactly as the loops skip them); the reference
+implementations remain available as ``*_reference`` oracles.
+
+Compilation is pattern-only and costs one pass over the factors;
+sequences of same-pattern matrices (the Xyce transient workload) compile
+once and replay vectorized for every subsequent matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..contracts import domains
+from ..errors import SingularMatrixError
+from .csc import CSC
+
+__all__ = [
+    "ScheduleCompileError",
+    "TriangularSchedule",
+    "compile_triangular_schedule",
+    "triangular_schedule",
+    "adopt_solve_schedules",
+    "RefactorSchedule",
+    "compile_refactor_schedule",
+    "permutation_gather",
+    "diagonal_block_gathers",
+]
+
+
+class ScheduleCompileError(ValueError):
+    """The given pattern cannot be compiled into an elimination schedule
+    (missing structural diagonal, pattern not closed under the update
+    paths, or input entries outside the factor pattern)."""
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(s, s + c) for s, c in zip(starts, counts)])``
+    without a Python loop."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum0 = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(starts - cum0, counts) + np.arange(total, dtype=np.int64)
+
+
+def _segment(positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort scatter targets and mark segment boundaries for reduceat.
+
+    Returns ``(order, seg_starts, seg_tgt)`` such that accumulating
+    ``vals`` into ``positions`` is ``x[seg_tgt] -=
+    add.reduceat(vals[order], seg_starts)``.
+    """
+    order = np.argsort(positions, kind="stable")
+    srt = positions[order]
+    if srt.size == 0:
+        return order, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    new = np.empty(srt.size, dtype=bool)
+    new[0] = True
+    new[1:] = srt[1:] != srt[:-1]
+    seg_starts = np.flatnonzero(new)
+    return order, seg_starts, srt[seg_starts]
+
+
+# ======================================================================
+# Triangular solve schedules
+# ======================================================================
+
+
+# Levels at most this wide run as a per-column scalar loop instead of
+# the whole-level vector path: deep factors produce long runs of 1-2
+# column levels where the fixed cost of the vector calls dominates.
+_SCALAR_LEVEL_WIDTH = 4
+
+
+@dataclass
+class _TriLevel:
+    cols: np.ndarray        # columns finalized at this level
+    diag_idx: np.ndarray    # data index of each column's diagonal (-1 if absent)
+    counts: np.ndarray      # off-diagonal update entries per column
+    ent_val_idx: np.ndarray  # data indices of the update entries, grouped by column
+    ent_order: np.ndarray
+    seg_starts: np.ndarray
+    seg_tgt: np.ndarray     # target rows of x
+    # Narrow levels only: per column ``(j, diag, lo, hi, rows)`` with
+    # ``lo:hi`` the data slice of the update entries and ``rows`` their
+    # target rows; the vector arrays above are left empty then.
+    scalar_cols: Optional[list] = None
+
+
+@dataclass
+class TriangularSchedule:
+    """Level schedule of a triangular CSC pattern for dense-RHS solves."""
+
+    kind: str               # "lower" or "upper"
+    n: int
+    nnz: int
+    diag_idx: np.ndarray    # per column, -1 when no stored diagonal
+    col_empty: np.ndarray   # per column, True when the column stores nothing
+    levels: List[_TriLevel]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def matches(self, M: CSC) -> bool:
+        """Cheap pattern identity check (patterns are immutable by
+        convention; a different object with the same shape/nnz would
+        need :func:`compile_triangular_schedule` anew)."""
+        return M.n_rows == self.n and M.n_cols == self.n and M.nnz == self.nnz
+
+    # ------------------------------------------------------------------
+    def solve(self, M: CSC, b: np.ndarray, unit_diag: bool = False) -> np.ndarray:
+        """Replay the schedule: solve ``M x = b`` level by level."""
+        n = self.n
+        x = np.array(b, dtype=np.float64, copy=True)
+        if x.shape != (n,):
+            raise ValueError("dimension mismatch")
+        data = M.data
+        use_diag = not unit_diag
+        if use_diag:
+            # Validate every diagonal up front, reporting the column the
+            # reference sweep would have hit first.
+            missing = self.diag_idx < 0
+            dvals = np.zeros(n, dtype=np.float64)
+            dvals[~missing] = data[self.diag_idx[~missing]]
+            bad = missing | (dvals == 0.0)
+            if np.any(bad):
+                which = np.flatnonzero(bad)
+                j = int(which.max() if self.kind == "upper" else which.min())
+                if self.kind == "lower" and self.col_empty[j]:
+                    raise ZeroDivisionError(f"empty column {j} in lower solve")
+                raise ZeroDivisionError(f"zero diagonal at column {j}")
+        for lv in self.levels:
+            scalars = lv.scalar_cols
+            if scalars is not None:
+                for j, dj, lo, hi, rows in scalars:
+                    xj = x[j]
+                    if use_diag:
+                        xj = x[j] = xj / data[dj]
+                    if xj != 0.0 and lo != hi:
+                        x[rows] -= data[lo:hi] * xj
+                continue
+            if use_diag:
+                x[lv.cols] /= data[lv.diag_idx]
+            if lv.ent_val_idx.size:
+                xj = np.repeat(x[lv.cols], lv.counts)
+                prods = data[lv.ent_val_idx] * xj
+                x[lv.seg_tgt] -= np.add.reduceat(prods[lv.ent_order], lv.seg_starts)
+        return x
+
+
+def compile_triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
+    """Compile the level schedule of a triangular CSC pattern.
+
+    ``kind`` is ``"lower"`` (forward sweep; entries strictly below the
+    diagonal propagate) or ``"upper"`` (backward sweep; entries strictly
+    above propagate).  Entries on the wrong side of the diagonal are
+    ignored, exactly as the reference loops ignore them.
+    """
+    if kind not in ("lower", "upper"):
+        raise ValueError("kind must be 'lower' or 'upper'")
+    if M.n_rows != M.n_cols:
+        raise ValueError("triangular schedule requires a square matrix")
+    n = M.n_cols
+    indptr, indices = M.indptr, M.indices
+    lev = np.zeros(n, dtype=np.int64)
+    diag_idx = np.full(n, -1, dtype=np.int64)
+    off_lo = np.zeros(n, dtype=np.int64)
+    off_hi = np.zeros(n, dtype=np.int64)
+    col_order = range(n) if kind == "lower" else range(n - 1, -1, -1)
+    for j in col_order:
+        lo, hi = int(indptr[j]), int(indptr[j + 1])
+        rows = indices[lo:hi]
+        k = int(np.searchsorted(rows, j))
+        has_diag = k < rows.size and rows[k] == j
+        if has_diag:
+            diag_idx[j] = lo + k
+        if kind == "lower":
+            off_lo[j] = lo + k + (1 if has_diag else 0)
+            off_hi[j] = hi
+        else:
+            off_lo[j] = lo
+            off_hi[j] = lo + k
+        off = indices[off_lo[j] : off_hi[j]]
+        if off.size:
+            lev[off] = np.maximum(lev[off], lev[j] + 1)
+
+    order = np.argsort(lev, kind="stable")
+    n_levels = int(lev.max()) + 1 if n else 0
+    sizes = np.bincount(lev, minlength=n_levels) if n else np.empty(0, dtype=np.int64)
+    ptr = np.concatenate(([0], np.cumsum(sizes)))
+    levels: List[_TriLevel] = []
+    empty = np.empty(0, dtype=np.int64)
+    for s in range(n_levels):
+        cols = order[ptr[s] : ptr[s + 1]]
+        if cols.size <= _SCALAR_LEVEL_WIDTH:
+            scalars = [
+                (int(j), int(diag_idx[j]), int(off_lo[j]), int(off_hi[j]),
+                 indices[off_lo[j] : off_hi[j]])
+                for j in cols
+            ]
+            levels.append(_TriLevel(
+                cols=cols, diag_idx=empty, counts=empty, ent_val_idx=empty,
+                ent_order=empty, seg_starts=empty, seg_tgt=empty,
+                scalar_cols=scalars,
+            ))
+            continue
+        counts = off_hi[cols] - off_lo[cols]
+        ent_val_idx = _concat_ranges(off_lo[cols], counts)
+        ent_order, seg_starts, seg_tgt = _segment(indices[ent_val_idx])
+        levels.append(_TriLevel(
+            cols=cols,
+            diag_idx=diag_idx[cols],
+            counts=counts,
+            ent_val_idx=ent_val_idx,
+            ent_order=ent_order,
+            seg_starts=seg_starts,
+            seg_tgt=seg_tgt,
+        ))
+    return TriangularSchedule(
+        kind=kind,
+        n=n,
+        nnz=M.nnz,
+        diag_idx=diag_idx,
+        col_empty=np.diff(indptr) == 0,
+        levels=levels,
+    )
+
+
+def triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
+    """Compiled schedule for ``M``, cached on the matrix object.
+
+    CSC patterns are immutable by convention in this package (every
+    structural operation returns a new object), so the cache lives for
+    the lifetime of the matrix; new objects start cold.
+    """
+    cache = getattr(M, "_solve_schedules", None)
+    if cache is None:
+        cache = {}
+        M._solve_schedules = cache
+    sched = cache.get(kind)
+    if sched is None or not sched.matches(M):
+        sched = compile_triangular_schedule(M, kind)
+        cache[kind] = sched
+    return sched
+
+
+def adopt_solve_schedules(src: CSC, dst: CSC) -> None:
+    """Share ``src``'s compiled solve schedules with ``dst``.
+
+    Only valid when both matrices have the same pattern (the caller
+    guarantees it — e.g. a values-only refactorization result).
+    """
+    cache = getattr(src, "_solve_schedules", None)
+    if cache:
+        dst._solve_schedules = dict(cache)
+
+
+# ======================================================================
+# Refactorization schedules
+# ======================================================================
+
+
+@dataclass
+class _RefactorStage:
+    cols: np.ndarray        # columns finalized at this stage
+    piv_wpos: np.ndarray    # workspace position of each column's pivot
+    l_counts: np.ndarray    # below-diagonal entries per column
+    l_dst: np.ndarray       # indices into Lx for the below-diagonal values
+    l_src: np.ndarray       # workspace positions of those values
+    op_src_wpos: np.ndarray  # per update op: workspace position of x_k[j]
+    op_len: np.ndarray      # per update op: |L(:, j)| - 1
+    ent_lval_idx: np.ndarray  # indices into Lx, grouped per op
+    ent_order: np.ndarray
+    seg_starts: np.ndarray
+    seg_tgt: np.ndarray     # workspace positions receiving the sums
+    # Column-group attribution (grouped compiles only): group of each
+    # update op's target column, and the all-ops-counted flop total per
+    # group (the common case, so run() skips the bincount).
+    op_group: Optional[np.ndarray] = None
+    op_group_flops: Optional[np.ndarray] = None
+
+
+def _same_pattern(a: np.ndarray, b: np.ndarray) -> bool:
+    """Array equality with an identity fast path.
+
+    Patterns are immutable by convention and shared across the objects
+    of a fixed-pattern sequence, so ``a is b`` almost always decides.
+    """
+    return a is b or np.array_equal(a, b)
+
+
+@dataclass
+class RefactorSchedule:
+    """Compiled elimination schedule for values-only refactorization.
+
+    Bound to one (L pattern, U pattern, input pattern, row permutation)
+    quadruple; :meth:`matches` re-validates all four so a pattern change
+    forces recompilation.
+    """
+
+    n: int
+    l_indptr: np.ndarray
+    l_indices: np.ndarray
+    u_indptr: np.ndarray
+    u_indices: np.ndarray
+    a_indptr: np.ndarray
+    a_indices: np.ndarray
+    row_perm: np.ndarray
+    wtotal: int
+    a_scatter: np.ndarray   # A data index -> workspace position
+    ux_src: np.ndarray      # workspace position of every U value
+    l_diag_dst: np.ndarray  # Lx indices of the unit diagonal
+    div_flops: float        # sum over columns of |L(:, k)| - 1
+    stages: List[_RefactorStage] = field(default_factory=list)
+    # Optional per-column-group cost attribution (compiled with
+    # ``col_group``): used by the blocked replay to rebuild per-block
+    # ledgers identical to running the blocks one by one.
+    n_groups: int = 1
+    group_div_flops: Optional[np.ndarray] = None
+    group_columns: Optional[np.ndarray] = None
+    group_mem_words: Optional[np.ndarray] = None
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------------
+    def matches(self, L: CSC, U: CSC, A: CSC, row_perm: np.ndarray) -> bool:
+        """True when the schedule was compiled for exactly these
+        patterns and this pivot order."""
+        return (
+            L.shape == (self.n, self.n)
+            and U.shape == (self.n, self.n)
+            and A.shape == (self.n, self.n)
+            and _same_pattern(L.indptr, self.l_indptr)
+            and _same_pattern(L.indices, self.l_indices)
+            and _same_pattern(U.indptr, self.u_indptr)
+            and _same_pattern(U.indices, self.u_indices)
+            and _same_pattern(A.indptr, self.a_indptr)
+            and _same_pattern(A.indices, self.a_indices)
+            and _same_pattern(np.asarray(row_perm, dtype=np.int64), self.row_perm)
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        a_data: np.ndarray,
+        ledger,
+        pivot_floor: float = 0.0,
+        group_flops: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Replay the schedule on new values; returns ``(Lx, Ux)``.
+
+        Ledger counts are identical to the reference column loop
+        (:func:`~repro.solvers.gp.gp_refactor_reference`): updates whose
+        source value is exactly zero are excluded from ``sparse_flops``.
+        Raises :class:`~repro.errors.SingularMatrixError` when a reused
+        pivot is unusable; with several unusable pivots the reported
+        column is the first one *in schedule order*, which may differ
+        from the reference loop's (always the smallest failing column).
+
+        With ``group_flops`` (an array of ``n_groups`` zeros, grouped
+        compiles only) the masked update flops are additionally
+        attributed to each target column's group.
+        """
+        if group_flops is not None and self.group_columns is None:
+            raise ValueError("schedule was compiled without column groups")
+        xwork = np.zeros(self.wtotal, dtype=np.float64)
+        xwork[self.a_scatter] = a_data
+        Lx = np.empty(self.l_indices.size, dtype=np.float64)
+        Ux = np.empty(self.u_indices.size, dtype=np.float64)
+        Lx[self.l_diag_dst] = 1.0
+        update_flops = 0.0
+        for stage in self.stages:
+            piv = xwork[stage.piv_wpos]
+            bad = (np.abs(piv) <= pivot_floor) | (piv == 0.0)
+            if np.any(bad):
+                k = int(stage.cols[np.flatnonzero(bad).min()])
+                raise SingularMatrixError(
+                    f"refactor: reused pivot at column {k} is unusable "
+                    f"({piv[np.flatnonzero(bad).min()]!r}); refactor with fresh pivoting",
+                    column=k,
+                )
+            if stage.l_dst.size:
+                Lx[stage.l_dst] = xwork[stage.l_src] / np.repeat(piv, stage.l_counts)
+            if stage.op_src_wpos.size:
+                sv = xwork[stage.op_src_wpos]
+                nz = sv != 0.0
+                if not np.all(nz):
+                    counted = stage.op_len[nz]
+                    update_flops += float(counted.sum())
+                    if group_flops is not None:
+                        group_flops += np.bincount(
+                            stage.op_group[nz], weights=counted,
+                            minlength=group_flops.size,
+                        )
+                else:
+                    update_flops += float(stage.op_len.sum())
+                    if group_flops is not None:
+                        group_flops += stage.op_group_flops
+                prods = Lx[stage.ent_lval_idx] * np.repeat(sv, stage.op_len)
+                if stage.seg_starts.size:
+                    xwork[stage.seg_tgt] -= np.add.reduceat(
+                        prods[stage.ent_order], stage.seg_starts
+                    )
+        Ux[:] = xwork[self.ux_src]
+        ledger.sparse_flops += update_flops + self.div_flops
+        ledger.columns += self.n
+        ledger.mem_words += self.l_indices.size + self.u_indices.size
+        return Lx, Ux
+
+
+@domains(A="matrix[S]", row_perm="perm[A->B]")
+def compile_refactor_schedule(
+    L: CSC,
+    U: CSC,
+    A: CSC,
+    row_perm: np.ndarray,
+    col_group: Optional[np.ndarray] = None,
+    n_groups: Optional[int] = None,
+) -> RefactorSchedule:
+    """Compile the elimination schedule for refactoring matrices with
+    ``A``'s pattern against the fixed factors ``L``/``U`` and pivot
+    order ``row_perm``.
+
+    ``col_group`` (optional) assigns every column to a group; the
+    schedule then supports per-group flop attribution at replay time
+    (see :class:`BlockedRefactorSchedule`).
+
+    Requirements (all raised as :class:`ScheduleCompileError`):
+
+    * every L column stores its unit diagonal first, every U column its
+      diagonal last (the layout produced by every factorization here);
+    * the factor patterns are closed under the update paths
+      (``L[i, j] != 0`` and ``U[j, k] != 0`` implies ``(i, k)`` is in
+      the pattern) — true for any pattern produced by a reach-based or
+      symbolic factorization of the same input pattern;
+    * every input entry lands inside the factor pattern after the row
+      permutation.
+    """
+    n = L.n_cols
+    if L.shape != (n, n) or U.shape != (n, n) or A.shape != (n, n):
+        raise ValueError("refactor schedule requires square, same-shape factors")
+    row_perm = np.asarray(row_perm, dtype=np.int64)
+    if row_perm.shape != (n,):
+        raise ValueError("row_perm has the wrong length")
+    if col_group is not None:
+        col_group = np.asarray(col_group, dtype=np.int64)
+        if col_group.shape != (n,):
+            raise ValueError("col_group has the wrong length")
+        if n_groups is None:
+            n_groups = int(col_group.max()) + 1 if n else 0
+    Lp, Li = L.indptr, L.indices
+    Up, Ui = U.indptr, U.indices
+    lcnt = np.diff(Lp)
+    ucnt = np.diff(Up)
+    if n:
+        if np.any(lcnt < 1) or not np.array_equal(Li[Lp[:-1]], np.arange(n)):
+            raise ScheduleCompileError(
+                "L must store the unit diagonal as the first entry of every column"
+            )
+        if np.any(ucnt < 1) or not np.array_equal(Ui[Up[1:] - 1], np.arange(n)):
+            raise ScheduleCompileError(
+                "U must store the diagonal as the last entry of every column"
+            )
+
+    # Workspace layout: column k's slice holds its above-diagonal U rows
+    # followed by its L rows (pivot first) — the union pattern in
+    # ascending row order.
+    wcnt = ucnt - 1 + lcnt
+    wptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(wcnt, out=wptr[1:])
+    wtotal = int(wptr[-1])
+    union_rows = np.empty(wtotal, dtype=np.int64)
+    col_of_u = np.repeat(np.arange(n), ucnt)
+    pos_u = np.arange(Ui.size, dtype=np.int64) - np.repeat(Up[:-1], ucnt)
+    above = pos_u < (ucnt[col_of_u] - 1)
+    union_rows[wptr[col_of_u[above]] + pos_u[above]] = Ui[above]
+    col_of_l = np.repeat(np.arange(n), lcnt)
+    pos_l = np.arange(Li.size, dtype=np.int64) - np.repeat(Lp[:-1], lcnt)
+    union_rows[wptr[col_of_l] + (ucnt[col_of_l] - 1) + pos_l] = Li
+    union_key = np.repeat(np.arange(n), wcnt) * n + union_rows
+    if union_key.size > 1 and not np.all(np.diff(union_key) > 0):
+        raise ScheduleCompileError("factor columns are not sorted triangular patterns")
+
+    # Input scatter: A entry (r, k) lands at pivot row inv[r] of column k.
+    inv = np.empty(n, dtype=np.int64)
+    inv[row_perm] = np.arange(n, dtype=np.int64)
+    col_of_a = np.repeat(np.arange(n), np.diff(A.indptr))
+    a_key = col_of_a * n + inv[A.indices]
+    a_scatter = np.searchsorted(union_key, a_key)
+    if a_scatter.size and (
+        np.any(a_scatter >= wtotal)
+        or not np.array_equal(union_key[np.minimum(a_scatter, wtotal - 1)], a_key)
+    ):
+        raise ScheduleCompileError(
+            "input entries fall outside the factor pattern (pattern changed?)"
+        )
+
+    # Levels on the union graph of L-below and U-above edges.
+    lev = np.zeros(n, dtype=np.int64)
+    for k in range(n):
+        ua = Ui[Up[k] : Up[k + 1] - 1]
+        if ua.size:
+            lev[k] = max(int(lev[k]), int(lev[ua].max()) + 1)
+        lb = Li[Lp[k] + 1 : Lp[k + 1]]
+        if lb.size:
+            lev[lb] = np.maximum(lev[lb], lev[k] + 1)
+    n_stages = int(lev.max()) + 1 if n else 0
+    col_order = np.argsort(lev, kind="stable")
+    stage_sizes = np.bincount(lev, minlength=n_stages) if n else np.empty(0, dtype=np.int64)
+    col_ptr = np.concatenate(([0], np.cumsum(stage_sizes)))
+
+    # One update op per above-diagonal U entry; grouped by source level.
+    op_src = Ui[above]
+    op_tgt = col_of_u[above]
+    op_wpos = (wptr[col_of_u] + pos_u)[above]
+    op_stage = lev[op_src]
+    op_order = np.argsort(op_stage, kind="stable")
+    op_sizes = np.bincount(op_stage, minlength=n_stages) if op_src.size else np.zeros(
+        n_stages, dtype=np.int64
+    )
+    op_ptr = np.concatenate(([0], np.cumsum(op_sizes)))
+
+    stages: List[_RefactorStage] = []
+    for s in range(n_stages):
+        cols = col_order[col_ptr[s] : col_ptr[s + 1]]
+        l_counts = lcnt[cols] - 1
+        l_dst = _concat_ranges(Lp[cols] + 1, l_counts)
+        l_src = _concat_ranges(wptr[cols] + ucnt[cols], l_counts)
+
+        ops = op_order[op_ptr[s] : op_ptr[s + 1]]
+        src = op_src[ops]
+        tgt = op_tgt[ops]
+        op_len = lcnt[src] - 1
+        ent_lval_idx = _concat_ranges(Lp[src] + 1, op_len)
+        ent_row = Li[ent_lval_idx]
+        ent_key = np.repeat(tgt, op_len) * n + ent_row
+        ent_pos = np.searchsorted(union_key, ent_key)
+        if ent_pos.size and (
+            np.any(ent_pos >= wtotal)
+            or not np.array_equal(union_key[np.minimum(ent_pos, wtotal - 1)], ent_key)
+        ):
+            raise ScheduleCompileError(
+                "factor pattern is not closed under the update paths"
+            )
+        ent_order, seg_starts, seg_tgt = _segment(ent_pos)
+        op_group = op_group_flops = None
+        if col_group is not None:
+            op_group = col_group[tgt]
+            op_group_flops = np.bincount(
+                op_group, weights=op_len.astype(np.float64), minlength=n_groups
+            )
+        stages.append(_RefactorStage(
+            cols=cols,
+            piv_wpos=wptr[cols] + ucnt[cols] - 1,
+            l_counts=l_counts,
+            l_dst=l_dst,
+            l_src=l_src,
+            op_src_wpos=op_wpos[ops],
+            op_len=op_len,
+            ent_lval_idx=ent_lval_idx,
+            ent_order=ent_order,
+            seg_starts=seg_starts,
+            seg_tgt=seg_tgt,
+            op_group=op_group,
+            op_group_flops=op_group_flops,
+        ))
+
+    group_div = group_cols = group_mem = None
+    if col_group is not None:
+        group_div = np.bincount(
+            col_group, weights=(lcnt - 1).astype(np.float64), minlength=n_groups
+        )
+        group_cols = np.bincount(col_group, minlength=n_groups)
+        group_mem = np.bincount(col_group, weights=(lcnt + ucnt).astype(np.float64),
+                                minlength=n_groups).astype(np.int64)
+
+    ux_src = wptr[col_of_u] + pos_u
+    return RefactorSchedule(
+        n=n,
+        l_indptr=Lp,
+        l_indices=Li,
+        u_indptr=Up,
+        u_indices=Ui,
+        a_indptr=A.indptr,
+        a_indices=A.indices,
+        # Stored without copying: patterns and permutations are
+        # immutable by convention, and keeping the caller's objects
+        # lets matches() succeed on identity across a sequence.
+        row_perm=row_perm,
+        wtotal=wtotal,
+        a_scatter=a_scatter,
+        ux_src=ux_src,
+        l_diag_dst=Lp[:-1].copy(),
+        div_flops=float((lcnt - 1).sum()) if n else 0.0,
+        stages=stages,
+        n_groups=int(n_groups) if col_group is not None else 1,
+        group_div_flops=group_div,
+        group_columns=group_cols,
+        group_mem_words=group_mem,
+    )
+
+
+class _ScratchCounts:
+    """Minimal ledger shim for the blocked replay's internal run.
+
+    The total counts it receives are re-attributed per block by the
+    caller (their sum is identical by construction), so the shim is
+    never read.
+    """
+
+    __slots__ = ("sparse_flops", "columns", "mem_words")
+
+    def __init__(self) -> None:
+        self.sparse_flops = 0.0
+        self.columns = 0
+        self.mem_words = 0
+
+
+class BlockedRefactorSchedule:
+    """One flattened schedule replaying every diagonal block at once.
+
+    A BTF decomposition of a circuit matrix yields hundreds of tiny
+    diagonal blocks; refactoring them one Python call at a time costs
+    more in interpreter overhead than in arithmetic.  This compiles the
+    *block-diagonal* union of all per-block factor patterns into a
+    single :class:`RefactorSchedule` — independent blocks share level
+    stages, so one sequence step is a handful of whole-matrix numpy
+    calls regardless of the block count.  Grouped flop attribution
+    recovers per-block ledgers identical to running
+    :func:`~repro.solvers.gp.gp_refactor` block by block.
+
+    Parameters
+    ----------
+    splits
+        Block boundaries (``nblocks + 1`` entries, as in BTF).
+    block_patterns
+        Per block, ``(Lp, Li, Up, Ui)`` of its fixed factors.
+    block_gathers
+        Per block, ``(indptr, indices, gather)`` from
+        :func:`diagonal_block_gathers` — the gather maps the permuted
+        matrix's data array onto the block's values.
+    """
+
+    def __init__(self, splits, block_patterns, block_gathers) -> None:
+        splits = np.asarray(splits, dtype=np.int64)
+        nb = splits.size - 1
+        base = int(splits[0])
+        n = int(splits[-1]) - base
+        lcols, lrows, ucols, urows = [], [], [], []
+        dcols, drows, dgather = [], [], []
+        l_nnz = np.zeros(nb + 1, dtype=np.int64)
+        u_nnz = np.zeros(nb + 1, dtype=np.int64)
+        for k in range(nb):
+            lo = int(splits[k]) - base
+            Lp, Li, Up, Ui = block_patterns[k]
+            bptr, brows, bg = block_gathers[k]
+            lcols.append(np.diff(Lp))
+            lrows.append(Li + lo)
+            ucols.append(np.diff(Up))
+            urows.append(Ui + lo)
+            dcols.append(np.diff(bptr))
+            drows.append(brows + lo)
+            dgather.append(bg)
+            l_nnz[k + 1] = Li.size
+            u_nnz[k + 1] = Ui.size
+
+        def _cat(parts):
+            return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+        def _ptr(count_parts):
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            if count_parts:
+                np.cumsum(_cat(count_parts), out=ptr[1:])
+            return ptr
+
+        zeros = np.zeros  # values are irrelevant for pattern-only compile
+        L = CSC(n, n, _ptr(lcols), _cat(lrows), zeros(int(l_nnz.sum())))
+        U = CSC(n, n, _ptr(ucols), _cat(urows), zeros(int(u_nnz.sum())))
+        dr = _cat(drows)
+        D = CSC(n, n, _ptr(dcols), dr, zeros(dr.size))
+        col_group = np.repeat(np.arange(nb), np.diff(splits))
+        self.schedule = compile_refactor_schedule(
+            L, U, D, np.arange(n, dtype=np.int64),
+            col_group=col_group, n_groups=nb,
+        )
+        self.n_blocks = nb
+        self.d_gather = _cat(dgather)
+        # Per-block slices of the flattened factor values.
+        self.l_ptr = np.cumsum(l_nnz)
+        self.u_ptr = np.cumsum(u_nnz)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, m_data: np.ndarray, pivot_floor: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Replay on the permuted matrix's values.
+
+        Returns ``(Lx, Ux, group_flops)``: block ``k``'s factor values
+        are ``Lx[l_ptr[k]:l_ptr[k+1]]`` / ``Ux[u_ptr[k]:u_ptr[k+1]]``
+        and its masked update flops ``group_flops[k]`` (divisions,
+        columns and memory words per block come from the schedule's
+        group arrays).  Raises
+        :class:`~repro.errors.SingularMatrixError` as
+        :meth:`RefactorSchedule.run` does; callers fall back to a
+        per-block loop with fresh pivoting where needed.
+        """
+        group_flops = np.zeros(self.n_blocks, dtype=np.float64)
+        Lx, Ux = self.schedule.run(
+            m_data[self.d_gather], _ScratchCounts(),
+            pivot_floor=pivot_floor, group_flops=group_flops,
+        )
+        return Lx, Ux, group_flops
+
+
+# ======================================================================
+# Fixed-pattern value gathers (sequence replay helpers)
+# ======================================================================
+
+
+@domains(row_perm="perm[A->B]", col_perm="perm[C->D]")
+def permutation_gather(
+    A: CSC,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pattern and value-gather of ``A.permute(row_perm, col_perm)``.
+
+    Returns ``(indptr, indices, gather)`` such that for any matrix ``B``
+    with ``A``'s pattern, ``CSC(n_rows, n_cols, indptr, indices,
+    B.data[gather])`` equals ``B.permute(row_perm, col_perm)`` — a
+    values-only permutation with no per-step CSC reconstruction.
+    """
+    n_rows, n_cols = A.n_rows, A.n_cols
+    col_of = np.repeat(np.arange(n_cols), np.diff(A.indptr))
+    if col_perm is not None:
+        invc = np.empty(n_cols, dtype=np.int64)
+        invc[np.asarray(col_perm, dtype=np.int64)] = np.arange(n_cols, dtype=np.int64)
+        newcol = invc[col_of]
+    else:
+        newcol = col_of
+    if row_perm is not None:
+        invr = np.empty(n_rows, dtype=np.int64)
+        invr[np.asarray(row_perm, dtype=np.int64)] = np.arange(n_rows, dtype=np.int64)
+        newrow = invr[A.indices]
+    else:
+        newrow = A.indices
+    gather = np.lexsort((newrow, newcol))
+    indptr = np.zeros(n_cols + 1, dtype=np.int64)
+    np.cumsum(np.bincount(newcol, minlength=n_cols), out=indptr[1:])
+    return indptr, newrow[gather], gather
+
+
+def diagonal_block_gathers(
+    indptr: np.ndarray, indices: np.ndarray, splits: np.ndarray
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-diagonal-block patterns and value gathers of a blocked matrix.
+
+    ``splits`` are the block boundaries (as in a BTF decomposition).
+    For block ``b`` spanning ``lo:hi``, the returned ``(indptr, indices,
+    gather)`` satisfies ``M.submatrix(lo, hi, lo, hi).data ==
+    M.data[gather]`` for any matrix ``M`` with this pattern, with
+    ``indptr``/``indices`` the (fixed) local block pattern.
+    """
+    n = indptr.size - 1
+    splits = np.asarray(splits, dtype=np.int64)
+    nblocks = splits.size - 1
+    col_of = np.repeat(np.arange(n), np.diff(indptr))
+    blk_of_col = np.searchsorted(splits, col_of, side="right") - 1
+    blk_of_row = np.searchsorted(splits, indices, side="right") - 1
+    on_diag = blk_of_col == blk_of_row
+    didx = np.flatnonzero(on_diag)           # CSC order preserved per block
+    dblk = blk_of_col[didx]
+    bounds = np.searchsorted(dblk, np.arange(nblocks + 1))
+    out: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for b in range(nblocks):
+        lo, hi = int(splits[b]), int(splits[b + 1])
+        gather = didx[bounds[b] : bounds[b + 1]]
+        local_rows = indices[gather] - lo
+        local_cols = col_of[gather] - lo
+        bptr = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.cumsum(np.bincount(local_cols, minlength=hi - lo), out=bptr[1:])
+        out.append((bptr, local_rows, gather))
+    return out
