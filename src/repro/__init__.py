@@ -20,6 +20,7 @@ paper-versus-measured record of every table and figure.
 from .core import Basker, BaskerNumeric
 from .interface import DirectSolver, available_solvers
 from .errors import ReproError, SingularMatrixError, StructureError, TaskGraphError
+from .obs import Metrics, Tracer, get_tracer, tracing
 from .parallel import CostLedger, MachineModel, SANDY_BRIDGE, XEON_PHI, Schedule
 from .solvers import KLU, SolverFailure, SupernodalLU, gp_factor, slu_mt
 from .sparse import CSC, BlockMatrix, factorization_residual, solve_residual
@@ -47,6 +48,10 @@ __all__ = [
     "StructureError",
     "TaskGraphError",
     "SolverFailure",
+    "Metrics",
+    "Tracer",
+    "get_tracer",
+    "tracing",
     "factorization_residual",
     "solve_residual",
     "__version__",

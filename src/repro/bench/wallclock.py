@@ -204,6 +204,42 @@ def _klu_refactor_reference(klu: KLU, A: CSC, numeric):
     )
 
 
+def _phase_breakdown(name: str, seed: int) -> dict:
+    """Per-phase modeled + wall seconds from one traced KLU pipeline run.
+
+    One analyze/factor/refactor/solve pass under a wall-clock-enabled
+    :class:`~repro.obs.Tracer` (outside the timed best-of loops), then
+    spans are aggregated by name: ``modeled_s``/``wall_s`` are inclusive
+    per span, so nested names (``order.*`` inside ``symbolic``) overlap
+    their parents by design.
+    """
+    from ..obs import Tracer, modeled_times, tracing
+    from ..parallel.machine import SANDY_BRIDGE
+
+    A = get_matrix(name)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(A.n_rows)
+    klu = KLU()
+    tracer = Tracer(wall_clock=time.perf_counter)
+    with tracing(tracer):
+        sym = klu.analyze(A)
+        num = klu.factor(A, symbolic=sym)
+        A2 = CSC(A.n_rows, A.n_cols, A.indptr, A.indices, A.data * 1.01)
+        num = klu.refactor_fast(A2, num)
+        klu.solve(num, b)
+    times = modeled_times(tracer, SANDY_BRIDGE)
+    spans: Dict[str, dict] = {}
+    for sp in tracer.spans:
+        rec = spans.setdefault(
+            sp.name, {"count": 0, "modeled_s": 0.0, "wall_s": 0.0}
+        )
+        rec["count"] += 1
+        rec["modeled_s"] += times[sp.sid][1]
+        if sp.wall_seconds is not None:
+            rec["wall_s"] += sp.wall_seconds
+    return {"matrix": name, "machine": SANDY_BRIDGE.name, "spans": spans}
+
+
 def _bench_xyce_sequence(n_matrices: int) -> dict:
     """The §V-F workload: one fixed-pattern Jacobian sequence, KLU
     values-only refactorization, seed loop vs schedule replay."""
@@ -279,6 +315,7 @@ def run_wallclock(
             "seed": seed,
         },
         "cases": cases,
+        "phases": _phase_breakdown(matrices[0], seed),
         "summary": {
             "xyce_refactor_speedup": cases["xyce_refactor_sequence"]["speedup"],
             "min_refactor_speedup": min(refac_sp) if refac_sp else None,

@@ -222,6 +222,115 @@ def _cmd_analyze(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+    import time
+
+    from .obs import (
+        Tracer,
+        check_ledger_tree,
+        span_tree,
+        to_jsonl,
+        to_perfetto,
+        tracing,
+        validate_perfetto,
+    )
+
+    A = _load(args.matrix)
+    machine = XEON_PHI if args.machine == "xeonphi" else SANDY_BRIDGE
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(A.n_rows)
+
+    tracer = Tracer(wall_clock=time.perf_counter if args.wall else None)
+    pipeline = None
+    schedule = None
+    sched_tasks = None
+    sched_labels = None
+    with tracing(tracer):
+        with tracer.span("solve") as root:
+            root.set(matrix=args.matrix, solver=args.solver, n=A.n_rows, nnz=A.nnz)
+            if args.solver == "klu":
+                solver = KLU()
+            else:
+                solver = Basker(n_threads=args.threads)
+            sym = solver.analyze(A)
+            num = solver.factor(A, symbolic=sym)
+            num_factor = num  # keeps the task DAG; refactors drop it
+            pipeline = sym.ledger.copy()
+            pipeline.add(num.ledger)
+            A_cur = A
+            for k in range(args.refactor):
+                A_cur = CSC(A.n_rows, A.n_cols, A.indptr, A.indices,
+                            A.data * (1.0 + 0.01 * (k + 1)))
+                num = solver.refactor_fast(A_cur, num)
+                pipeline.add(num.ledger)
+            x = solver.solve(num, b)
+            root.attach(pipeline)
+            if args.solver == "basker":
+                schedule = num_factor.schedule(machine)
+                sched_tasks = num_factor.tasks
+                sched_labels = num_factor.task_labels
+    residual = solve_residual(A_cur, x, b)
+
+    ledger_problems = check_ledger_tree(tracer)
+    doc = to_perfetto(tracer, machine, schedule=schedule,
+                      schedule_tasks=sched_tasks, schedule_labels=sched_labels)
+    perfetto_problems = validate_perfetto(doc)
+    jsonl = to_jsonl(tracer, machine)
+    tree = span_tree(tracer, machine)
+
+    base = args.output
+    if base is None:
+        safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in args.matrix)
+        base = f"TRACE_{safe}_{args.solver}"
+    perfetto_path = f"{base}.perfetto.json"
+    jsonl_path = f"{base}.jsonl"
+    with open(perfetto_path, "w") as fh:
+        json.dump(doc, fh)
+    with open(jsonl_path, "w") as fh:
+        fh.write(jsonl)
+
+    ok = not ledger_problems and not perfetto_problems
+    snap = tracer.metrics.snapshot()
+    if args.format == "json":
+        print(json.dumps({
+            "matrix": args.matrix,
+            "solver": args.solver,
+            "threads": args.threads,
+            "machine": machine.name,
+            "ok": ok,
+            "ledger_problems": ledger_problems,
+            "perfetto_problems": perfetto_problems,
+            "n_spans": len(tracer.spans),
+            "span_names": sorted({s.name for s in tracer.spans}),
+            "tree": tree.splitlines(),
+            "metrics": snap,
+            "residual": residual,
+            "outputs": {"perfetto": perfetto_path, "jsonl": jsonl_path},
+        }, indent=2))
+    else:
+        print(f"trace: {args.matrix} via {args.solver} "
+              f"(threads={args.threads}, machine={machine.name})")
+        print(tree)
+        if snap["counters"]:
+            print("counters:")
+            for k, v in snap["counters"].items():
+                print(f"  {k} = {v:g}")
+        if snap["gauges"]:
+            print("gauges:")
+            for k, v in snap["gauges"].items():
+                print(f"  {k} = {v:g}")
+        print(f"scaled residual = {residual:.3e}")
+        for prob in ledger_problems:
+            print(f"LEDGER: {prob}")
+        for prob in perfetto_problems:
+            print(f"PERFETTO: {prob}")
+        print(f"wrote {perfetto_path}")
+        print(f"wrote {jsonl_path}")
+        print(f"ledger consistency: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
     from .bench.wallclock import (
         SPEEDUP_FLOORS,
@@ -310,6 +419,23 @@ def main(argv=None) -> int:
                    help="domains only: check these file(s) against the package "
                         "contracts instead of the whole tree (repeatable)")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("trace", help="traced solve: span tree + Perfetto/JSONL export")
+    p.add_argument("matrix")
+    p.add_argument("--solver", choices=["klu", "basker"], default="klu")
+    p.add_argument("--threads", type=int, default=4,
+                   help="basker thread count (default 4)")
+    p.add_argument("--refactor", type=int, default=1,
+                   help="values-only refactorization replays to trace (default 1)")
+    p.add_argument("--machine", choices=["sandybridge", "xeonphi"],
+                   default="sandybridge")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wall", action="store_true",
+                   help="also record wall-clock per span (harness boundary only)")
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument("--output",
+                   help="output base path (default: TRACE_<matrix>_<solver>)")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("bench", help="wall-clock microbenchmarks + regression gate")
     p.add_argument("--quick", action="store_true",

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..contracts import domains
 from ..errors import SingularMatrixError
+from ..obs.tracer import get_tracer
 from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel, SANDY_BRIDGE
 from ..parallel.sim import Schedule, SimTask, simulate
@@ -179,66 +180,85 @@ class Basker:
         """Parallel numeric factorization (Algorithm 4 + fine BTF)."""
         if symbolic is None:
             symbolic = self.analyze(A)
-        B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)  # domain: matrix[btf]
-        splits = symbolic.block_splits  # domain: index[btf]
-        builder = TaskBuilder()
-        total = CostLedger()
-        overhead = CostLedger()
-        overhead.mem_words += A.nnz  # block scatter
-        total.add(overhead)
+        tr = get_tracer()
+        sp = tr.span("numeric.gp")
+        with sp:
+            B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)  # domain: matrix[btf]
+            splits = symbolic.block_splits  # domain: index[btf]
+            builder = TaskBuilder()
+            total = CostLedger()
+            overhead = CostLedger()
+            overhead.mem_words += A.nnz  # block scatter
+            total.add(overhead)
+            # Own-work cost of this span: just the block scatter — the
+            # fine/ND children account for everything else (nd.overhead
+            # is contained in nd.ledger, which the ND child spans carry).
+            sp.attach_overhead(overhead)
 
-        row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
-        fine_lu: Dict[int, GPResult] = {}
-        nd_numeric: Dict[int, NDNumericBlock] = {}
+            row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
+            fine_lu: Dict[int, GPResult] = {}
+            nd_numeric: Dict[int, NDNumericBlock] = {}
 
-        # Fine-BTF blocks: embarrassingly parallel Gilbert–Peierls.
-        if symbolic.fine_plan is not None:
-            plan = symbolic.fine_plan
+            # Fine-BTF blocks: embarrassingly parallel Gilbert–Peierls.
+            if symbolic.fine_plan is not None:
+                plan = symbolic.fine_plan
 
-            def _factor_fine(b_idx: int):
-                lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
-                blk = B.submatrix(lo, hi, lo, hi)
-                led = CostLedger()
-                lu = gp_factor(
-                    blk, pivot_tol=self.pivot_tol, static_perturb=self.static_perturb, ledger=led
+                def _factor_fine(b_idx: int):
+                    lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
+                    blk = B.submatrix(lo, hi, lo, hi)
+                    led = CostLedger()
+                    lu = gp_factor(
+                        blk, pivot_tol=self.pivot_tol, static_perturb=self.static_perturb, ledger=led
+                    )
+                    return b_idx, lo, hi, lu, led
+
+                results = parallel_map(
+                    _factor_fine,
+                    list(plan.block_ids),
+                    n_threads=self.n_threads if self.real_threads else 1,
                 )
-                return b_idx, lo, hi, lu, led
+                for (b_idx, lo, hi, lu, led), thread in zip(results, plan.thread_of):
+                    fine_lu[b_idx] = lu
+                    row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+                    total.add(led)
+                    if tr.enabled:
+                        # Leaf span per fine block, recorded post hoc on
+                        # the main thread (span creation is not
+                        # thread-safe; the workers only compute).
+                        tr.span("numeric.gp.fine").set(
+                            block=b_idx, n=hi - lo, thread=thread
+                        ).attach(led)
+                    builder.add(
+                        ("fine", b_idx), led, deps=[], thread=thread,
+                        working_set=12.0 * (lu.L.nnz + lu.U.nnz) + 8.0 * (hi - lo),
+                        reads=[("fineA", b_idx)],
+                        writes=[("fineLU", b_idx)],
+                    )
 
-            results = parallel_map(
-                _factor_fine,
-                list(plan.block_ids),
-                n_threads=self.n_threads if self.real_threads else 1,
-            )
-            for (b_idx, lo, hi, lu, led), thread in zip(results, plan.thread_of):
-                fine_lu[b_idx] = lu
-                row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
-                total.add(led)
-                builder.add(
-                    ("fine", b_idx), led, deps=[], thread=thread,
-                    working_set=12.0 * (lu.L.nnz + lu.U.nnz) + 8.0 * (hi - lo),
-                    reads=[("fineA", b_idx)],
-                    writes=[("fineLU", b_idx)],
-                )
+            # Fine-ND blocks: Algorithm 4.
+            for plan in symbolic.nd_plans:
+                lo, hi = plan.offset, plan.offset + plan.size
+                Dblk = B.submatrix(lo, hi, lo, hi)  # domain: matrix[nd]
+                with tr.span("numeric.gp.nd") as nsp:
+                    nd = factor_nd_block(
+                        Dblk,
+                        plan,
+                        builder,
+                        pivot_tol=self.pivot_tol,
+                        static_perturb=self.static_perturb,
+                        supernodal_separators=self.supernodal_separators,
+                        pipeline_columns=self.pipeline_columns,
+                    )
+                    if tr.enabled:
+                        nsp.set(block=plan.block_id, n=hi - lo)
+                nsp.attach(nd.ledger)
+                nd_numeric[plan.block_id] = nd
+                row_perm[lo:hi] = row_perm[lo:hi][nd.piv]
+                total.add(nd.ledger)
+                overhead.add(nd.overhead)
 
-        # Fine-ND blocks: Algorithm 4.
-        for plan in symbolic.nd_plans:
-            lo, hi = plan.offset, plan.offset + plan.size
-            Dblk = B.submatrix(lo, hi, lo, hi)  # domain: matrix[nd]
-            nd = factor_nd_block(
-                Dblk,
-                plan,
-                builder,
-                pivot_tol=self.pivot_tol,
-                static_perturb=self.static_perturb,
-                supernodal_separators=self.supernodal_separators,
-                pipeline_columns=self.pipeline_columns,
-            )
-            nd_numeric[plan.block_id] = nd
-            row_perm[lo:hi] = row_perm[lo:hi][nd.piv]
-            total.add(nd.ledger)
-            overhead.add(nd.overhead)
-
-        M = A.permute(row_perm, symbolic.col_perm)
+            M = A.permute(row_perm, symbolic.col_perm)
+            sp.attach(total)
         return BaskerNumeric(
             symbolic=symbolic,
             fine_lu=fine_lu,
@@ -282,60 +302,72 @@ class Basker:
         try:
             return self._refactor_fast(A, numeric)
         except (SingularMatrixError, ScheduleCompileError):
+            get_tracer().metrics.incr("basker.refactor.fallback")
             return self.refactor(A, numeric)
 
     def _refactor_fast(self, A: CSC, numeric: BaskerNumeric) -> BaskerNumeric:
         sym = numeric.symbolic
         splits = sym.block_splits
         n = sym.n
-        cache = numeric.refactor_cache
-        if (
-            cache is None
-            or not np.array_equal(A.indptr, cache["a_indptr"])
-            or not np.array_equal(A.indices, cache["a_indices"])
-            or not np.array_equal(numeric.row_perm, cache["row_perm"])
-        ):
-            m_indptr, m_indices, m_gather = permutation_gather(
-                A, numeric.row_perm, sym.col_perm
-            )
-            cache = {
-                "a_indptr": A.indptr,
-                "a_indices": A.indices,
-                "row_perm": numeric.row_perm.copy(),
-                "m": (m_indptr, m_indices, m_gather),
-                "blocks": diagonal_block_gathers(m_indptr, m_indices, splits),
-                "sched": {},
-            }
-            numeric.refactor_cache = cache
-        m_indptr, m_indices, m_gather = cache["m"]
-        m_data = A.data[m_gather]
-        M = CSC(n, n, m_indptr, m_indices, m_data)
-        total = CostLedger()
-        total.mem_words += A.nnz
-
-        fine_lu: Dict[int, GPResult] = {}
-        nd_numeric: Dict[int, NDNumericBlock] = {}
-        for k in range(sym.n_blocks):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            if hi == lo:
-                continue
-            bptr, brows, bgather = cache["blocks"][k]
-            blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
-            L, U = numeric.block_factors(k)
-            led = CostLedger()
-            # row_perm already folds in all pivoting: identity order.
-            fixed = GPResult(L, U, np.arange(hi - lo, dtype=np.int64), led,
-                             schedule=cache["sched"].get(k))
-            lu = gp_refactor(blk, fixed, ledger=led)
-            cache["sched"][k] = lu.schedule
-            total.add(led)
-            if k in numeric.fine_lu:
-                fine_lu[k] = lu
+        tr = get_tracer()
+        metrics = tr.metrics
+        sp = tr.span("refactor.replay")
+        with sp:
+            cache = numeric.refactor_cache
+            if cache is None:
+                metrics.incr("basker.refactor.gather.miss")
+            elif (
+                not np.array_equal(A.indptr, cache["a_indptr"])
+                or not np.array_equal(A.indices, cache["a_indices"])
+                or not np.array_equal(numeric.row_perm, cache["row_perm"])
+            ):
+                metrics.incr("basker.refactor.gather.invalidate")
+                cache = None
             else:
-                nd = numeric.nd_numeric[k]
-                nd_numeric[k] = dataclasses.replace(
-                    nd, L=lu.L, U=lu.U, ledger=led, overhead=CostLedger()
+                metrics.incr("basker.refactor.gather.hit")
+            if cache is None:
+                m_indptr, m_indices, m_gather = permutation_gather(
+                    A, numeric.row_perm, sym.col_perm
                 )
+                cache = {
+                    "a_indptr": A.indptr,
+                    "a_indices": A.indices,
+                    "row_perm": numeric.row_perm.copy(),
+                    "m": (m_indptr, m_indices, m_gather),
+                    "blocks": diagonal_block_gathers(m_indptr, m_indices, splits),
+                    "sched": {},
+                }
+                numeric.refactor_cache = cache
+            m_indptr, m_indices, m_gather = cache["m"]
+            m_data = A.data[m_gather]
+            M = CSC(n, n, m_indptr, m_indices, m_data)
+            total = CostLedger()
+            total.mem_words += A.nnz
+
+            fine_lu: Dict[int, GPResult] = {}
+            nd_numeric: Dict[int, NDNumericBlock] = {}
+            for k in range(sym.n_blocks):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                if hi == lo:
+                    continue
+                bptr, brows, bgather = cache["blocks"][k]
+                blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
+                L, U = numeric.block_factors(k)
+                led = CostLedger()
+                # row_perm already folds in all pivoting: identity order.
+                fixed = GPResult(L, U, np.arange(hi - lo, dtype=np.int64), led,
+                                 schedule=cache["sched"].get(k))
+                lu = gp_refactor(blk, fixed, ledger=led)
+                cache["sched"][k] = lu.schedule
+                total.add(led)
+                if k in numeric.fine_lu:
+                    fine_lu[k] = lu
+                else:
+                    nd = numeric.nd_numeric[k]
+                    nd_numeric[k] = dataclasses.replace(
+                        nd, L=lu.L, U=lu.U, ledger=led, overhead=CostLedger()
+                    )
+            sp.attach(total)
         return BaskerNumeric(
             symbolic=sym,
             fine_lu=fine_lu,
@@ -358,21 +390,22 @@ class Basker:
         n = numeric.symbolic.n
         if b.shape != (n,):
             raise ValueError("right-hand side has wrong length")
-        splits = numeric.symbolic.block_splits
-        c = b[numeric.row_perm].copy()
-        z = np.zeros(n, dtype=np.float64)
-        M = numeric.M
-        for k in range(numeric.symbolic.n_blocks - 1, -1, -1):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            if hi == lo:
-                continue
-            L, U = numeric.block_factors(k)
-            z[lo:hi] = lu_solve_factors(L, U, c[lo:hi])
-            for j in range(lo, hi):
-                rows, vals = M.col(j)
-                cut = np.searchsorted(rows, lo)
-                if cut:
-                    c[rows[:cut]] -= vals[:cut] * z[j]
-        x = np.empty(n, dtype=np.float64)
-        x[numeric.col_perm] = z
+        with get_tracer().span("solve.tri"):
+            splits = numeric.symbolic.block_splits
+            c = b[numeric.row_perm].copy()
+            z = np.zeros(n, dtype=np.float64)
+            M = numeric.M
+            for k in range(numeric.symbolic.n_blocks - 1, -1, -1):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                if hi == lo:
+                    continue
+                L, U = numeric.block_factors(k)
+                z[lo:hi] = lu_solve_factors(L, U, c[lo:hi])
+                for j in range(lo, hi):
+                    rows, vals = M.col(j)
+                    cut = np.searchsorted(rows, lo)
+                    if cut:
+                        c[rows[:cut]] -= vals[:cut] * z[j]
+            x = np.empty(n, dtype=np.float64)
+            x[numeric.col_perm] = z
         return x

@@ -33,6 +33,7 @@ import numpy as np
 from ..contracts import domains
 from ..graph.etree import etree, symbolic_cholesky_counts, symmetric_pattern
 from ..graph.matching import mwcm_row_permutation
+from ..obs.tracer import get_tracer
 from ..ordering.amd import amd_order
 from ..ordering.btf import BTFResult, btf
 from ..ordering.nd import NDPartition, nested_dissection
@@ -421,64 +422,67 @@ def analyze(
     ):
         raise ValueError("nd_leaves must be a power-of-two multiple of n_threads")
 
-    ledger = CostLedger()
-    if use_btf:
-        res = btf(A)
-    else:
-        ident = np.arange(n, dtype=np.int64)
-        res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
-    ledger.dfs_steps += A.nnz
-
-    B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
-    row_pre = res.row_perm.copy()  # domain: perm[global->btf]
-    col_perm = res.col_perm.copy()  # domain: perm[global->btf]
-    splits = res.block_splits  # domain: index[btf]
-
-    fine_ids: List[int] = []
-    nd_ids: List[int] = []
-    for b in range(res.n_blocks):
-        size = int(splits[b + 1] - splits[b])
-        if size >= nd_threshold and n_threads > 1:
-            nd_ids.append(b)
+    tr = get_tracer()
+    with tr.span("symbolic") as sp:
+        ledger = CostLedger()
+        if use_btf:
+            res = btf(A)
         else:
-            fine_ids.append(b)
+            ident = np.arange(n, dtype=np.int64)
+            res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
+        ledger.dfs_steps += A.nnz
 
-    fine_plan = None
-    if fine_ids:
-        fine_plan = _fine_btf_symbolic(B, splits, fine_ids, n_threads, row_pre, col_perm, ledger)
+        B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
+        row_pre = res.row_perm.copy()  # domain: perm[global->btf]
+        col_perm = res.col_perm.copy()  # domain: perm[global->btf]
+        splits = res.block_splits  # domain: index[btf]
 
-    nd_plans: List[NDBlockPlan] = []
-    for b in nd_ids:
-        lo, hi = int(splits[b]), int(splits[b + 1])
-        Dblk = B.submatrix(lo, hi, lo, hi)
-        # Local MWCM (Pm2) to protect the diagonal of the big block.
-        pm2 = mwcm_row_permutation(Dblk)
-        D1 = Dblk.permute(row_perm=pm2)
-        ledger.dfs_steps += 2 * Dblk.nnz
-        # ND on the symmetrized graph (p leaves by default).
-        part = nested_dissection(D1, nleaves=nd_leaves)
-        q = part.perm  # domain: perm[local:block->nd]
-        D2 = D1.permute(q, q)  # domain: matrix[nd]
-        # Per-node AMD refinement (local symmetric perms keep the
-        # separator property intact).
-        r = np.arange(Dblk.n_rows, dtype=np.int64)  # domain: perm[nd->nd]
-        for t in range(part.n_nodes):
-            t0, t1 = part.node_range(t)
-            if t1 - t0 > 1:
-                blk = D2.submatrix(t0, t1, t0, t1)
-                pa = amd_order(blk)
-                ledger.dfs_steps += 4 * blk.nnz
-                r[t0:t1] = r[t0:t1][pa]
-        local_row = compose(compose(pm2, q), r)  # perm[local:block->nd], inferred
-        local_col = compose(q, r)  # perm[local:block->nd], inferred
-        D3 = Dblk.permute(local_row, local_col)  # domain: matrix[nd]
+        fine_ids: List[int] = []
+        nd_ids: List[int] = []
+        for b in range(res.n_blocks):
+            size = int(splits[b + 1] - splits[b])
+            if size >= nd_threshold and n_threads > 1:
+                nd_ids.append(b)
+            else:
+                fine_ids.append(b)
 
-        row_pre[lo:hi] = row_pre[lo:hi][local_row]
-        col_perm[lo:hi] = col_perm[lo:hi][local_col]
+        fine_plan = None
+        if fine_ids:
+            fine_plan = _fine_btf_symbolic(B, splits, fine_ids, n_threads, row_pre, col_perm, ledger)
 
-        plan = _nd_block_symbolic(D3, part, b, lo, n_threads, ledger)
-        nd_plans.append(plan)
+        nd_plans: List[NDBlockPlan] = []
+        for b in nd_ids:
+            lo, hi = int(splits[b]), int(splits[b + 1])
+            Dblk = B.submatrix(lo, hi, lo, hi)
+            # Local MWCM (Pm2) to protect the diagonal of the big block.
+            pm2 = mwcm_row_permutation(Dblk)
+            D1 = Dblk.permute(row_perm=pm2)
+            ledger.dfs_steps += 2 * Dblk.nnz
+            # ND on the symmetrized graph (p leaves by default).
+            part = nested_dissection(D1, nleaves=nd_leaves)
+            q = part.perm  # domain: perm[local:block->nd]
+            D2 = D1.permute(q, q)  # domain: matrix[nd]
+            # Per-node AMD refinement (local symmetric perms keep the
+            # separator property intact).
+            r = np.arange(Dblk.n_rows, dtype=np.int64)  # domain: perm[nd->nd]
+            for t in range(part.n_nodes):
+                t0, t1 = part.node_range(t)
+                if t1 - t0 > 1:
+                    blk = D2.submatrix(t0, t1, t0, t1)
+                    pa = amd_order(blk)
+                    ledger.dfs_steps += 4 * blk.nnz
+                    r[t0:t1] = r[t0:t1][pa]
+            local_row = compose(compose(pm2, q), r)  # perm[local:block->nd], inferred
+            local_col = compose(q, r)  # perm[local:block->nd], inferred
+            D3 = Dblk.permute(local_row, local_col)  # domain: matrix[nd]
 
+            row_pre[lo:hi] = row_pre[lo:hi][local_row]
+            col_perm[lo:hi] = col_perm[lo:hi][local_col]
+
+            plan = _nd_block_symbolic(D3, part, b, lo, n_threads, ledger)
+            nd_plans.append(plan)
+
+        sp.attach(ledger)
     return BaskerSymbolic(
         n=n,
         n_threads=n_threads,

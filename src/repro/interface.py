@@ -16,6 +16,7 @@ import numpy as np
 
 from .core import Basker
 from .errors import SingularMatrixError
+from .obs.tracer import get_tracer
 from .parallel.machine import MachineModel, SANDY_BRIDGE
 from .solvers import KLU, SupernodalLU, slu_mt
 from .solvers.extras import refine_solve, solve_multi, solve_transpose
@@ -96,7 +97,8 @@ class DirectSolver:
                 self._numeric = self._impl.refactor_fast(A, prior)
                 return self
             except SingularMatrixError:
-                pass  # fresh pivoting below
+                # fresh pivoting below
+                get_tracer().metrics.incr("solver.singular_fallback")
         self._numeric = self._impl.factor(A, symbolic=self._symbolic)
         self._pattern = (A.indptr, A.indices)
         return self

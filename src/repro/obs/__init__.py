@@ -1,0 +1,52 @@
+"""repro.obs — hierarchical span tracing and metrics for the pipeline.
+
+The tracer is off by default (:data:`NULL_TRACER`); activate one with
+:func:`tracing` and export with the functions in :mod:`repro.obs.export`::
+
+    from repro.obs import Tracer, tracing, to_perfetto
+
+    with tracing(Tracer()) as tr:
+        solver = DirectSolver(A, n_threads=4)
+        solver.factor()
+    doc = to_perfetto(tr, machine)
+"""
+
+from .metrics import Metrics, NullMetrics, NULL_METRICS
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    check_ledger_tree,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from .export import (
+    modeled_times,
+    parse_jsonl,
+    span_tree,
+    to_jsonl,
+    to_perfetto,
+    validate_perfetto,
+)
+
+__all__ = [
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "check_ledger_tree",
+    "modeled_times",
+    "to_perfetto",
+    "to_jsonl",
+    "parse_jsonl",
+    "span_tree",
+    "validate_perfetto",
+]

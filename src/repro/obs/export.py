@@ -1,0 +1,262 @@
+"""Exporters for :mod:`repro.obs` traces.
+
+Three formats, all deterministic for a given run:
+
+* :func:`to_perfetto` — Chrome-tracing / Perfetto JSON.  The span tree
+  renders as nested slices on one lane of process 0 (timestamps are
+  microseconds of *modeled* time, priced from each span's attached
+  :class:`~repro.parallel.ledger.CostLedger` on a
+  :class:`~repro.parallel.machine.MachineModel`); a simulated
+  :class:`~repro.parallel.sim.Schedule` can be merged as child lanes of
+  process 1, one named thread lane per simulated core, with flow arrows
+  for the point-to-point dependency edges.
+* :func:`to_jsonl` — one JSON object per line: span records first (in
+  span-id order), then counters/gauges/stats from the metrics
+  registry.  :func:`parse_jsonl` reads the stream back.
+* :func:`span_tree` — fixed-width ASCII summary of the span tree with
+  modeled (and, when captured, wall) seconds per span.
+
+:func:`validate_perfetto` is the minimal schema check used by tests and
+CI: every complete event carries numeric ``ts``/``dur``/``pid``/``tid``
+and every flow-start id has a matching flow-finish id.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..parallel.ledger import CostLedger
+from ..parallel.machine import MachineModel
+from .tracer import LEDGER_FIELDS, Span, Tracer
+
+__all__ = [
+    "modeled_times",
+    "to_perfetto",
+    "to_jsonl",
+    "parse_jsonl",
+    "span_tree",
+    "validate_perfetto",
+]
+
+
+def _ledger_dict(ledger: Optional[CostLedger]) -> Optional[dict]:
+    if ledger is None:
+        return None
+    return {f: getattr(ledger, f) for f in LEDGER_FIELDS}
+
+
+def modeled_times(
+    tracer: Tracer, machine: MachineModel
+) -> Dict[int, Tuple[float, float]]:
+    """Per-span ``(start, duration)`` in modeled seconds.
+
+    A span's duration prices its inclusive ledger on ``machine``; its
+    children are laid out sequentially inside it after the span's own
+    overhead (the modeled pipeline is serial — parallel structure lives
+    in the merged simulated schedule lanes, not in the span tree).
+    Roots are laid out sequentially from t=0.
+    """
+    out: Dict[int, Tuple[float, float]] = {}
+
+    def place(sp: Span, start: float) -> float:
+        dur = machine.seconds(sp.ledger_total())
+        out[sp.sid] = (start, dur)
+        cursor = start
+        if sp.overhead is not None:
+            cursor += machine.seconds(sp.overhead)
+        for child in sp.children:
+            cursor = place(child, cursor)
+        return start + dur
+
+    cursor = 0.0
+    for root in tracer.roots:
+        cursor = place(root, cursor)
+    return out
+
+
+def to_perfetto(
+    tracer: Tracer,
+    machine: MachineModel,
+    schedule=None,
+    schedule_tasks=None,
+    schedule_labels: Optional[Dict[int, str]] = None,
+) -> dict:
+    """Export the trace as a Chrome-tracing/Perfetto JSON object.
+
+    ``schedule`` (a :class:`~repro.parallel.sim.Schedule`) merges the
+    simulated task lanes as process 1; pass the run's ``SimTask`` list
+    as ``schedule_tasks`` to get named thread lanes and flow arrows for
+    the p2p dependency edges.
+    """
+    times = modeled_times(tracer, machine)
+    events: List[dict] = []
+    for sp in tracer.spans:
+        start, dur = times[sp.sid]
+        args: dict = {"sid": sp.sid, "parent": sp.parent_sid}
+        led = _ledger_dict(sp.ledger if sp.ledger is not None else None)
+        if led is not None:
+            args["ledger"] = led
+        if sp.attrs:
+            args.update(sp.attrs)
+        if sp.wall_seconds is not None:
+            args["wall_s"] = sp.wall_seconds
+        events.append(
+            {
+                "name": sp.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": dur * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro pipeline (modeled, {machine.name})"},
+        }
+    )
+    if schedule is not None:
+        sub = schedule.to_chrome_trace(schedule_labels, tasks=schedule_tasks)
+        for e in sub["traceEvents"]:
+            e = dict(e)
+            e["pid"] = 1
+            events.append(e)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "simulated task schedule"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def to_jsonl(tracer: Tracer, machine: MachineModel) -> str:
+    """One JSON object per line: spans, then counters/gauges/stats."""
+    times = modeled_times(tracer, machine)
+    lines: List[str] = []
+    for sp in tracer.spans:
+        start, dur = times[sp.sid]
+        rec = {
+            "type": "span",
+            "sid": sp.sid,
+            "parent": sp.parent_sid,
+            "depth": sp.depth,
+            "name": sp.name,
+            "modeled_start_s": start,
+            "modeled_s": dur,
+            "ledger": _ledger_dict(sp.ledger),
+            "overhead": _ledger_dict(sp.overhead),
+            "attrs": dict(sp.attrs),
+            "wall_s": sp.wall_seconds,
+        }
+        lines.append(json.dumps(rec, sort_keys=True))
+    snap = tracer.metrics.snapshot()
+    for name, value in snap["counters"].items():
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "value": value}, sort_keys=True))
+    for name, value in snap["gauges"].items():
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": value}, sort_keys=True))
+    for name, st in snap["stats"].items():
+        lines.append(json.dumps(
+            {"type": "stat", "name": name, **st}, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_jsonl(text: str) -> dict:
+    """Parse a :func:`to_jsonl` stream back into records.
+
+    Returns ``{"spans": [...], "counters": {...}, "gauges": {...},
+    "stats": {...}}``; span records keep the JSONL field names.
+    """
+    spans: List[dict] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    stats: Dict[str, dict] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        kind = rec.get("type")
+        if kind == "span":
+            spans.append(rec)
+        elif kind == "counter":
+            counters[rec["name"]] = rec["value"]
+        elif kind == "gauge":
+            gauges[rec["name"]] = rec["value"]
+        elif kind == "stat":
+            stats[rec["name"]] = {
+                k: v for k, v in rec.items() if k not in ("type", "name")
+            }
+        else:
+            raise ValueError(f"unknown JSONL record type {kind!r}")
+    return {"spans": spans, "counters": counters, "gauges": gauges, "stats": stats}
+
+
+def span_tree(tracer: Tracer, machine: MachineModel, name_width: int = 36) -> str:
+    """Fixed-width ASCII rendering of the span tree."""
+    times = modeled_times(tracer, machine)
+    lines: List[str] = []
+
+    def emit(sp: Span) -> None:
+        _, dur = times[sp.sid]
+        label = ("  " * sp.depth + sp.name)[:name_width]
+        wall = f"  wall {sp.wall_seconds:>10.3e} s" if sp.wall_seconds is not None else ""
+        extras = ""
+        if sp.attrs:
+            kv = " ".join(f"{k}={sp.attrs[k]}" for k in sorted(sp.attrs))
+            extras = f"  [{kv}]"
+        lines.append(f"{label:<{name_width}} modeled {dur:>10.3e} s{wall}{extras}")
+        for child in sp.children:
+            emit(child)
+
+    for root in tracer.roots:
+        emit(root)
+    return "\n".join(lines)
+
+
+def validate_perfetto(doc: dict) -> List[str]:
+    """Minimal schema check for an exported Perfetto JSON object.
+
+    * the document has a ``traceEvents`` list;
+    * every complete ("X") event carries numeric ``ts``, ``dur``,
+      ``pid`` and ``tid``;
+    * flow events pair up: every flow-start ("s") id has at least one
+      flow-finish ("f"), and vice versa.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    flow_starts: Dict[object, int] = {}
+    flow_ends: Dict[object, int] = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "X":
+            for key in ("ts", "dur", "pid", "tid"):
+                if not isinstance(e.get(key), (int, float)):
+                    problems.append(
+                        f"event {i} ({e.get('name')!r}): missing or "
+                        f"non-numeric {key!r}"
+                    )
+        elif ph == "s":
+            flow_starts[e.get("id")] = flow_starts.get(e.get("id"), 0) + 1
+        elif ph == "f":
+            flow_ends[e.get("id")] = flow_ends.get(e.get("id"), 0) + 1
+    for fid in flow_starts:
+        if fid not in flow_ends:
+            problems.append(f"flow id {fid!r} has a start but no finish")
+    for fid in flow_ends:
+        if fid not in flow_starts:
+            problems.append(f"flow id {fid!r} has a finish but no start")
+    return problems

@@ -1,0 +1,96 @@
+"""Metrics registry: named counters, gauges and value observations.
+
+The registry is the quantitative side of :mod:`repro.obs`: spans say
+*where* a run spent its modeled time, counters/gauges say *what
+happened* — fill-in, off-diagonal pivot swaps, BTF block counts,
+schedule-cache hits/misses, :class:`~repro.errors.SingularMatrixError`
+fallbacks, level widths.
+
+Everything is deterministic: values come from the algorithms, never
+from clocks, and :meth:`Metrics.snapshot` emits keys in sorted order so
+two identical runs serialize identically.
+
+Instrumentation sites reach the registry through the active tracer
+(``get_tracer().metrics``); with tracing disabled that resolves to
+:data:`NULL_METRICS`, whose methods are no-ops, so disabled runs pay
+only an attribute lookup and a call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Metrics", "NullMetrics", "NULL_METRICS"]
+
+
+class Metrics:
+    """Deterministic counter/gauge/observation store."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.stats: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of ``name`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the running count/total/min/max of
+        ``name`` (distribution summaries, e.g. schedule level widths)."""
+        st = self.stats.get(name)
+        if st is None:
+            self.stats[name] = {
+                "count": 1, "total": value, "min": value, "max": value,
+            }
+        else:
+            st["count"] += 1
+            st["total"] += value
+            if value < st["min"]:
+                st["min"] = value
+            if value > st["max"]:
+                st["max"] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready copy with deterministically sorted keys."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "stats": {k: dict(self.stats[k]) for k in sorted(self.stats)},
+        }
+
+
+class NullMetrics:
+    """No-op registry installed while tracing is disabled."""
+
+    enabled = False
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def counter(self, name: str) -> float:
+        return 0
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "stats": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,270 @@
+"""Hierarchical span tracer for the solve pipeline.
+
+A :class:`Span` is one phase of a run — ``solve`` nesting
+``order.btf`` / ``order.nd`` / ``order.amd``, ``symbolic``,
+``numeric.gp``, ``refactor.replay``, ``solve.tri`` — optionally
+carrying the :class:`~repro.parallel.ledger.CostLedger` the phase
+counted.  Span time is **modeled** (ledger × machine model, priced at
+export), never wall-clock: the kernel packages are subject to the R1
+lint rule (no wall clocks) and R5 (no nondeterminism), and span ids
+come from a plain counter, so an instrumented run is bit-reproducible.
+Wall-clock capture exists only at the harness/bench boundary — pass a
+clock callable (e.g. ``time.perf_counter``) as ``Tracer(wall_clock=…)``
+and spans additionally record real start/end times.
+
+Tracing is **zero-cost when disabled**: the default active tracer is
+:data:`NULL_TRACER`, whose ``span()`` returns a shared no-op span and
+whose ``metrics`` is the no-op registry.  Instrumentation sites use
+constant span names, and anything that would allocate or format (span
+attributes, per-item child spans) is guarded behind
+``tracer.enabled``.
+
+Ledger attachment semantics:
+
+* :meth:`Span.attach` — the span's *inclusive* modeled cost.  The
+  ledger is copied at the call, so attach it once it is final.
+* :meth:`Span.attach_overhead` — cost of the span's own work that no
+  child span accounts for (e.g. the block-scatter words of a numeric
+  factorization).  :func:`check_ledger_tree` verifies that for every
+  span with both an attached ledger and costed children,
+  ``overhead + sum(child totals) == ledger`` field-exactly — the
+  conservation property behind the "sum of leaf span ledgers equals
+  the pipeline ledger" guarantee of ``repro trace``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import fields as _dc_fields
+from typing import Callable, Dict, List, Optional
+
+from ..parallel.ledger import CostLedger
+from .metrics import Metrics, NULL_METRICS
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "check_ledger_tree",
+]
+
+LEDGER_FIELDS = tuple(f.name for f in _dc_fields(CostLedger))
+
+
+class Span:
+    """One traced phase; usable as a context manager."""
+
+    __slots__ = (
+        "sid", "parent_sid", "name", "depth", "attrs",
+        "ledger", "overhead", "children",
+        "wall_start", "wall_end", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", sid: int, parent_sid: int,
+                 name: str, depth: int) -> None:
+        self.sid = sid
+        self.parent_sid = parent_sid
+        self.name = name
+        self.depth = depth
+        self.attrs: Dict[str, object] = {}
+        self.ledger: Optional[CostLedger] = None
+        self.overhead: Optional[CostLedger] = None
+        self.children: List[Span] = []
+        self.wall_start: Optional[float] = None
+        self.wall_end: Optional[float] = None
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        tr = self._tracer
+        tr._stack.append(self)
+        if tr.wall_clock is not None:
+            self.wall_start = tr.wall_clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tr = self._tracer
+        if tr.wall_clock is not None:
+            self.wall_end = tr.wall_clock()
+        if tr._stack and tr._stack[-1] is self:
+            tr._stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    def set(self, **attrs) -> "Span":
+        """Attach key/value attributes (exported into trace args)."""
+        self.attrs.update(attrs)
+        return self
+
+    def attach(self, ledger: CostLedger) -> "Span":
+        """Attach the span's inclusive modeled cost (copied now)."""
+        if self.ledger is None:
+            self.ledger = ledger.copy()
+        else:
+            self.ledger.add(ledger)
+        return self
+
+    def attach_overhead(self, ledger: CostLedger) -> "Span":
+        """Attach own-work cost not covered by any child span."""
+        if self.overhead is None:
+            self.overhead = ledger.copy()
+        else:
+            self.overhead.add(ledger)
+        return self
+
+    # ------------------------------------------------------------------
+    def ledger_total(self) -> CostLedger:
+        """Inclusive cost: the attached ledger if present, otherwise the
+        fold of the children's totals (plus any overhead), in child
+        order — the deterministic summation the consistency check and
+        the exporters share."""
+        if self.ledger is not None:
+            return self.ledger.copy()
+        total = self.overhead.copy() if self.overhead is not None else CostLedger()
+        for child in self.children:
+            total.add(child.ledger_total())
+        return total
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    def __repr__(self) -> str:
+        return f"Span({self.sid}, {self.name!r}, depth={self.depth})"
+
+
+class Tracer:
+    """Collects a forest of spans plus a metrics registry.
+
+    ``wall_clock`` is None by default (modeled time only); harness code
+    may pass ``time.perf_counter`` to record real span times alongside.
+    """
+
+    enabled = True
+
+    def __init__(self, wall_clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.wall_clock = wall_clock
+        self.spans: List[Span] = []     # creation (pre-)order
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_sid = 0
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span under the innermost active span (use ``with``)."""
+        sid = self._next_sid
+        self._next_sid += 1
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(self, sid, parent.sid if parent is not None else -1,
+                  name, len(self._stack))
+        if attrs:
+            sp.attrs.update(attrs)
+        self.spans.append(sp)
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            self.roots.append(sp)
+        return sp
+
+
+class _NullSpan:
+    """Shared inert span: every method is a no-op returning self."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def attach(self, ledger) -> "_NullSpan":
+        return self
+
+    def attach_overhead(self, ledger) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default (disabled) tracer: no spans, no metrics, no state."""
+
+    enabled = False
+    metrics = NULL_METRICS
+    wall_clock = None
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+_ACTIVE: object = NULL_TRACER
+
+
+def get_tracer():
+    """The active tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` (or :data:`NULL_TRACER`) as the active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Scoped activation: ``with tracing(Tracer()) as tr: …``."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = prev
+
+
+def check_ledger_tree(tracer: Tracer) -> List[str]:
+    """Verify ledger conservation over the span forest.
+
+    For every span with an attached (inclusive) ledger whose children
+    carry any cost, ``overhead + sum(child totals)`` must equal the
+    attached ledger *field-exactly* — ledgers are operation counts, so
+    no tolerance is warranted.  Returns human-readable problems; empty
+    means the trace's leaf ledgers sum to the pipeline totals.
+    """
+    problems: List[str] = []
+    for sp in tracer.spans:
+        if sp.ledger is None or not sp.children:
+            continue
+        folded = sp.overhead.copy() if sp.overhead is not None else CostLedger()
+        child_cost = False
+        for child in sp.children:
+            ct = child.ledger_total()
+            if not ct.is_empty():
+                child_cost = True
+            folded.add(ct)
+        if not child_cost:
+            continue  # structural children only (no cost accounting)
+        for f in LEDGER_FIELDS:
+            got = getattr(folded, f)
+            want = getattr(sp.ledger, f)
+            if got != want:
+                problems.append(
+                    f"span {sp.sid} ({sp.name}): children+overhead {f}="
+                    f"{got!r} != attached ledger {f}={want!r}"
+                )
+    return problems

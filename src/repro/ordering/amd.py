@@ -16,6 +16,7 @@ import numpy as np
 
 from ..contracts import domains
 from ..graph.etree import symmetric_pattern
+from ..obs.tracer import get_tracer
 from ..sparse.csc import CSC
 
 __all__ = ["amd_order"]
@@ -32,6 +33,12 @@ def amd_order(A: CSC, dense_cutoff: float = 10.0) -> np.ndarray:
     ``dense_cutoff``: variables with degree > cutoff * sqrt(n) are
     deferred to the end (the usual dense-row guard).
     """
+    with get_tracer().span("order.amd"):
+        return _amd_order(A, dense_cutoff)
+
+
+@domains(A="matrix[S]", returns="perm[S->S]")
+def _amd_order(A: CSC, dense_cutoff: float = 10.0) -> np.ndarray:
     n = A.n_cols
     if A.n_rows != n:
         raise ValueError("AMD requires a square matrix")

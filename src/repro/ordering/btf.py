@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..contracts import domains
+from ..obs.tracer import get_tracer
 from ..graph.matching import mwcm_row_permutation
 from ..graph.scc import scc_of_matrix
 from ..sparse.csc import CSC
@@ -81,6 +82,18 @@ def btf(A: CSC, use_mwcm: bool = True) -> BTFResult:
         study the effect of the matching (the diagonal must already be
         zero-free for the BTF to be meaningful then).
     """
+    tr = get_tracer()
+    with tr.span("order.btf") as sp:
+        res = _btf_impl(A, use_mwcm)
+        if tr.enabled:
+            sp.set(n_blocks=res.n_blocks, largest_block=res.largest_block)
+            tr.metrics.set_gauge("btf.n_blocks", res.n_blocks)
+            tr.metrics.set_gauge("btf.largest_block", res.largest_block)
+    return res
+
+
+@domains(A="matrix[global]")
+def _btf_impl(A: CSC, use_mwcm: bool = True) -> BTFResult:
     if A.n_rows != A.n_cols:
         raise ValueError("BTF requires a square matrix")
     n = A.n_rows

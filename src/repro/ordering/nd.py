@@ -23,6 +23,7 @@ import numpy as np
 
 from ..contracts import domains
 from ..graph.etree import symmetric_pattern
+from ..obs.tracer import get_tracer
 from ..sparse.csc import CSC
 
 __all__ = ["NDNode", "NDPartition", "nested_dissection", "nd_order"]
@@ -362,6 +363,16 @@ def nested_dissection(A: CSC, nleaves: int) -> NDPartition:
     small or oddly shaped graphs simply produce zero-size blocks, which
     the factorization handles.
     """
+    tr = get_tracer()
+    with tr.span("order.nd") as sp:
+        part = _nested_dissection(A, nleaves)
+        if tr.enabled:
+            sp.set(nleaves=nleaves, n_nodes=len(part.nodes))
+    return part
+
+
+@domains(A="matrix[S]")
+def _nested_dissection(A: CSC, nleaves: int) -> NDPartition:
     if A.n_rows != A.n_cols:
         raise ValueError("nested dissection requires a square matrix")
     if nleaves < 1 or (nleaves & (nleaves - 1)) != 0:

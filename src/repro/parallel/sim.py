@@ -87,11 +87,20 @@ class Schedule:
             return 1.0
         return sum(self.busy) / (self.makespan * self.n_threads)
 
-    def to_chrome_trace(self, labels: Dict[int, str] | None = None) -> dict:
+    def to_chrome_trace(
+        self,
+        labels: Dict[int, str] | None = None,
+        tasks: Optional[Sequence["SimTask"]] = None,
+    ) -> dict:
         """Export as a Chrome-tracing (``chrome://tracing`` / Perfetto)
         JSON object: one complete event per task, lanes = threads.
 
-        Timestamps are microseconds of simulated time.
+        Timestamps are microseconds of simulated time.  When the run's
+        task list is passed as ``tasks``, the export additionally emits
+        thread-name metadata events ("ph": "M") so Perfetto names each
+        lane, and paired flow events ("ph": "s"/"f") for every
+        point-to-point dependency edge so the viewer draws sync arrows;
+        without ``tasks`` the event list keeps its original shape.
         """
         events = []
         for tid in sorted(self.start):
@@ -106,16 +115,77 @@ class Schedule:
                     "args": {"task_id": tid},
                 }
             )
+        if tasks is not None:
+            for th in range(self.n_threads):
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": th,
+                        "args": {"name": f"sim thread {th}"},
+                    }
+                )
+            flow_id = 0
+            for t in sorted(tasks, key=lambda t: t.tid):
+                if t.tid not in self.start:
+                    continue
+                for d in sorted(t.deps):
+                    if d not in self.end:
+                        continue
+                    events.append(
+                        {
+                            "name": "dep",
+                            "cat": "p2p",
+                            "ph": "s",
+                            "id": flow_id,
+                            "ts": self.end[d] * 1e6,
+                            "pid": 0,
+                            "tid": int(self.thread_of[d]),
+                            "args": {"from": d, "to": t.tid},
+                        }
+                    )
+                    events.append(
+                        {
+                            "name": "dep",
+                            "cat": "p2p",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": flow_id,
+                            "ts": self.start[t.tid] * 1e6,
+                            "pid": 0,
+                            "tid": int(self.thread_of[t.tid]),
+                            "args": {"from": d, "to": t.tid},
+                        }
+                    )
+                    flow_id += 1
         return {"traceEvents": events, "displayTimeUnit": "ns"}
 
     def gantt(self, labels: Dict[int, str] | None = None) -> str:
-        """A text timeline (one line per task, ordered by start time)."""
+        """A text timeline: one fixed-width line per task (ordered by
+        start time) with start/end/duration columns, then a per-thread
+        utilization footer and a makespan/sync summary line."""
+        if not self.start:
+            return ""
         lines = []
         for tid in sorted(self.start, key=lambda t: (self.start[t], self.thread_of[t])):
             lab = (labels or {}).get(tid, str(tid))
+            s, e = self.start[tid], self.end[tid]
             lines.append(
-                f"t{self.thread_of[tid]:>3} [{self.start[tid]:.3e} .. {self.end[tid]:.3e}] {lab}"
+                f"t{self.thread_of[tid]:>3} [{s:>13.6e} .. {e:>13.6e}] "
+                f"dur {e - s:>13.6e} {lab}"
             )
+        lines.append("-" * 60)
+        for th in range(self.n_threads):
+            util = self.busy[th] / self.makespan if self.makespan > 0 else 0.0
+            lines.append(
+                f"t{th:>3} busy {self.busy[th]:>13.6e} s  util {util * 100:>6.1f}%"
+            )
+        lines.append(
+            f"makespan {self.makespan:>13.6e} s  "
+            f"sync {self.sync_fraction * 100:>6.1f}%  "
+            f"efficiency {self.parallel_efficiency * 100:>6.1f}%"
+        )
         return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from ..contracts import domains
 from ..errors import SingularMatrixError
 from ..graph.dfs import ReachWorkspace, topo_reach
+from ..obs.tracer import get_tracer
 from ..parallel.ledger import CostLedger
 from ..sparse.csc import CSC
 from ..sparse.schedule import (
@@ -91,8 +92,16 @@ def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
     """The compiled refactor schedule for ``prior``'s pattern against
     ``A``'s pattern, compiling and caching it on ``prior`` if absent or
     stale (pattern / pivot-order change ⇒ recompile)."""
+    metrics = get_tracer().metrics
     sched = prior.schedule
-    if sched is None or not sched.matches(prior.L, prior.U, A, prior.row_perm):
+    if sched is None:
+        metrics.incr("schedule.refactor.miss")
+    elif not sched.matches(prior.L, prior.U, A, prior.row_perm):
+        metrics.incr("schedule.refactor.invalidate")
+        sched = None
+    else:
+        metrics.incr("schedule.refactor.hit")
+    if sched is None:
         sched = compile_refactor_schedule(prior.L, prior.U, A, prior.row_perm)
         prior.schedule = sched
     return sched
@@ -265,6 +274,7 @@ def gp_factor(
     x = np.zeros(n, dtype=np.float64)
     ws = ReachWorkspace(n)
     xi = ws.xi
+    offdiag_swaps = 0
 
     for k in range(n):
         arows, avals = A.col(k)
@@ -333,6 +343,8 @@ def gp_factor(
                     column=k,
                 )
         pivval = x[ipiv]
+        if ipiv != k:
+            offdiag_swaps += 1
         pinv[ipiv] = k
 
         # Store U column k (rows already pivotal, in pivot numbering).
@@ -383,6 +395,11 @@ def gp_factor(
     if free_rows.size:
         free_cols = np.setdiff1d(np.arange(n), pinv[pinv >= 0])
         pinv[free_rows] = free_cols
+
+    metrics = get_tracer().metrics
+    if metrics.enabled:
+        metrics.incr("gp.offdiag_pivots", offdiag_swaps)
+        metrics.incr("gp.fill_nnz", max(0, lnz + unz - A.nnz))
 
     # Renumber L's rows into pivot order and sort both factors.
     Lfinal = CSC(n, n, Lp, pinv[Li[:lnz]], Lx[:lnz].copy()).sort_indices()

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..contracts import domains
+from ..obs.tracer import get_tracer
 from ..ordering.amd import amd_order
 from ..ordering.btf import BTFResult, btf
 from ..errors import SingularMatrixError
@@ -201,27 +202,30 @@ class KLU:
         n = A.n_rows
         if A.n_cols != n:
             raise ValueError("KLU requires a square matrix")
-        led = CostLedger()
-        if self.use_btf:
-            res = btf(A)
-        else:
-            ident = np.arange(n, dtype=np.int64)
-            res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
-        led.dfs_steps += A.nnz  # matching + SCC traversals, order nnz
+        tr = get_tracer()
+        with tr.span("symbolic") as sp:
+            led = CostLedger()
+            if self.use_btf:
+                res = btf(A)
+            else:
+                ident = np.arange(n, dtype=np.int64)
+                res = BTFResult(ident, ident.copy(), np.array([0, n], dtype=np.int64), True)
+            led.dfs_steps += A.nnz  # matching + SCC traversals, order nnz
 
-        B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
-        row_pre = res.row_perm.copy()  # domain: perm[global->btf]
-        col_perm = res.col_perm.copy()  # domain: perm[global->btf]
-        splits = res.block_splits
-        for k in range(res.n_blocks):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            if hi - lo <= 1:
-                continue
-            blk = B.submatrix(lo, hi, lo, hi)
-            p = amd_order(blk)
-            led.dfs_steps += 4 * blk.nnz
-            row_pre[lo:hi] = row_pre[lo:hi][p]
-            col_perm[lo:hi] = col_perm[lo:hi][p]
+            B = A.permute(res.row_perm, res.col_perm)  # domain: matrix[btf]
+            row_pre = res.row_perm.copy()  # domain: perm[global->btf]
+            col_perm = res.col_perm.copy()  # domain: perm[global->btf]
+            splits = res.block_splits
+            for k in range(res.n_blocks):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                if hi - lo <= 1:
+                    continue
+                blk = B.submatrix(lo, hi, lo, hi)
+                p = amd_order(blk)
+                led.dfs_steps += 4 * blk.nnz
+                row_pre[lo:hi] = row_pre[lo:hi][p]
+                col_perm[lo:hi] = col_perm[lo:hi][p]
+            sp.attach(led)
         return KLUSymbolic(n=n, btf_result=res, row_perm_pre=row_pre, col_perm=col_perm, ledger=led)
 
     # ------------------------------------------------------------------
@@ -231,34 +235,45 @@ class KLU:
         if symbolic is None:
             symbolic = self.analyze(A)
         splits = symbolic.block_splits
-        r = None
-        if self.scale is not None:
-            r = self._row_scale(A)
-            A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
-                    A.data * r[A.indices])
-        B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)
-        total = CostLedger()
-        total.mem_words += A.nnz  # permutation / block scatter traffic
-        if r is not None:
-            total.mem_words += A.nnz  # scaling pass
+        tr = get_tracer()
+        sp = tr.span("numeric.gp")
+        with sp:
+            r = None
+            if self.scale is not None:
+                r = self._row_scale(A)
+                A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
+                        A.data * r[A.indices])
+            B = A.permute(symbolic.row_perm_pre, symbolic.col_perm)
+            total = CostLedger()
+            overhead = CostLedger()
+            overhead.mem_words += A.nnz  # permutation / block scatter traffic
+            if r is not None:
+                overhead.mem_words += A.nnz  # scaling pass
+            total.add(overhead)
+            sp.attach_overhead(overhead)
 
-        block_lu: List[GPResult] = []
-        block_ledgers: List[CostLedger] = []
-        block_ws: List[float] = []
-        row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
-        for k in range(symbolic.n_blocks):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            blk = B.submatrix(lo, hi, lo, hi)
-            led = CostLedger()
-            lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
-            block_lu.append(lu)
-            block_ledgers.append(led)
-            block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
-            total.add(led)
-            # Fold the block's pivot permutation into the global rows.
-            row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+            block_lu: List[GPResult] = []
+            block_ledgers: List[CostLedger] = []
+            block_ws: List[float] = []
+            row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
+            for k in range(symbolic.n_blocks):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                blk = B.submatrix(lo, hi, lo, hi)
+                led = CostLedger()
+                with tr.span("numeric.gp.block") as bsp:
+                    if tr.enabled:
+                        bsp.set(block=k, n=hi - lo)
+                    lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
+                bsp.attach(led)
+                block_lu.append(lu)
+                block_ledgers.append(led)
+                block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
+                total.add(led)
+                # Fold the block's pivot permutation into the global rows.
+                row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
 
-        M = A.permute(row_perm, symbolic.col_perm)
+            M = A.permute(row_perm, symbolic.col_perm)
+            sp.attach(total)
         return KLUNumeric(
             symbolic=symbolic,
             block_lu=block_lu,
@@ -302,103 +317,130 @@ class KLU:
         symbolic = numeric.symbolic
         splits = symbolic.block_splits
         n = symbolic.n
-        r = None
-        if self.scale is not None:
-            r = self._row_scale(A)
-            A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
-                    A.data * r[A.indices])
-        # Reuse the *final* row permutation (pivoting included): the
-        # permuted diagonal blocks then refactor pivot-free.  The
-        # permutation and block extraction are fixed-pattern, so they
-        # reduce to cached value gathers.
-        cache = numeric.refactor_cache
-        if cache is None or not cache.matches(A, numeric.row_perm):
-            m_indptr, m_indices, m_gather = permutation_gather(
-                A, numeric.row_perm, symbolic.col_perm
-            )
-            cache = _KLURefactorCache(
-                a_indptr=A.indptr,
-                a_indices=A.indices,
-                row_perm=numeric.row_perm,
-                m_indptr=m_indptr,
-                m_indices=m_indices,
-                m_gather=m_gather,
-                blocks=diagonal_block_gathers(m_indptr, m_indices, splits),
-            )
-            numeric.refactor_cache = cache
-        m_data = A.data[cache.m_gather]
-        M = CSC(n, n, cache.m_indptr, cache.m_indices, m_data)
-        total = CostLedger()
-        total.mem_words += A.nnz
+        tr = get_tracer()
+        metrics = tr.metrics
+        sp = tr.span("refactor.replay")
+        with sp:
+            r = None
+            if self.scale is not None:
+                r = self._row_scale(A)
+                A = CSC(A.n_rows, A.n_cols, A.indptr.copy(), A.indices.copy(),
+                        A.data * r[A.indices])
+            # Reuse the *final* row permutation (pivoting included): the
+            # permuted diagonal blocks then refactor pivot-free.  The
+            # permutation and block extraction are fixed-pattern, so they
+            # reduce to cached value gathers.
+            cache = numeric.refactor_cache
+            if cache is None:
+                metrics.incr("klu.refactor.gather.miss")
+            elif not cache.matches(A, numeric.row_perm):
+                metrics.incr("klu.refactor.gather.invalidate")
+                cache = None
+            else:
+                metrics.incr("klu.refactor.gather.hit")
+            if cache is None:
+                m_indptr, m_indices, m_gather = permutation_gather(
+                    A, numeric.row_perm, symbolic.col_perm
+                )
+                cache = _KLURefactorCache(
+                    a_indptr=A.indptr,
+                    a_indices=A.indices,
+                    row_perm=numeric.row_perm,
+                    m_indptr=m_indptr,
+                    m_indices=m_indices,
+                    m_gather=m_gather,
+                    blocks=diagonal_block_gathers(m_indptr, m_indices, splits),
+                )
+                numeric.refactor_cache = cache
+            m_data = A.data[cache.m_gather]
+            M = CSC(n, n, cache.m_indptr, cache.m_indices, m_data)
+            total = CostLedger()
+            overhead = CostLedger()
+            overhead.mem_words += A.nnz
+            total.add(overhead)
+            sp.attach_overhead(overhead)
 
-        # Hot path: one flattened schedule replays every block at once
-        # (compiled on the first call, revalidated by object identity
-        # along the sequence).  Falls back to the per-block loop when a
-        # reused pivot degenerates or the patterns resist compilation.
-        if cache.replay is None or not cache.replay_matches(numeric):
-            pats = [(lu.L.indptr, lu.L.indices, lu.U.indptr, lu.U.indices)
-                    for lu in numeric.block_lu]
-            try:
-                cache.replay = BlockedRefactorSchedule(splits, pats, cache.blocks)
-                cache.replay_patterns = pats
-            except ScheduleCompileError:
+            # Hot path: one flattened schedule replays every block at once
+            # (compiled on the first call, revalidated by object identity
+            # along the sequence).  Falls back to the per-block loop when a
+            # reused pivot degenerates or the patterns resist compilation.
+            if cache.replay is None:
+                metrics.incr("klu.refactor.schedule.miss")
+            elif not cache.replay_matches(numeric):
+                metrics.incr("klu.refactor.schedule.invalidate")
                 cache.replay = None
                 cache.replay_patterns = None
-        if cache.replay is not None:
-            try:
-                return self._replay_refactor(numeric, cache, m_data, M, total, r)
-            except SingularMatrixError:
-                pass  # per-block loop below re-pivots where needed
+            else:
+                metrics.incr("klu.refactor.schedule.hit")
+            if cache.replay is None:
+                pats = [(lu.L.indptr, lu.L.indices, lu.U.indptr, lu.U.indices)
+                        for lu in numeric.block_lu]
+                try:
+                    cache.replay = BlockedRefactorSchedule(splits, pats, cache.blocks)
+                    cache.replay_patterns = pats
+                except ScheduleCompileError:
+                    cache.replay = None
+                    cache.replay_patterns = None
+            if cache.replay is not None:
+                try:
+                    out = self._replay_refactor(numeric, cache, m_data, M, total, r)
+                    sp.attach(out.ledger)
+                    return out
+                except SingularMatrixError:
+                    # per-block loop below re-pivots where needed
+                    metrics.incr("klu.refactor.singular_fallback")
 
-        block_lu: List[GPResult] = []
-        block_ledgers: List[CostLedger] = []
-        block_ws: List[float] = []
-        row_perm = numeric.row_perm.copy()
-        fell_back = False
-        for k in range(symbolic.n_blocks):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            bptr, brows, bgather = cache.blocks[k]
-            blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
-            led = CostLedger()
-            prior = numeric.block_lu[k]
-            try:
-                # Identity pivot order within the pre-pivoted block.
-                fixed = GPResult(prior.L, prior.U,
-                                 np.arange(hi - lo, dtype=np.int64), led,
-                                 schedule=prior.schedule)
-                lu = gp_refactor(blk, fixed, ledger=led)
-                # Persist the compiled schedule on the prior numeric too
-                # (covers callers that keep refactoring from one object).
-                prior.schedule = lu.schedule
-            except SingularMatrixError:
-                lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
-                row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
-                fell_back = True
-            block_lu.append(lu)
-            block_ledgers.append(led)
-            block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
-            total.add(led)
+            block_lu: List[GPResult] = []
+            block_ledgers: List[CostLedger] = []
+            block_ws: List[float] = []
+            row_perm = numeric.row_perm.copy()
+            fell_back = False
+            for k in range(symbolic.n_blocks):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                bptr, brows, bgather = cache.blocks[k]
+                blk = CSC(hi - lo, hi - lo, bptr, brows, m_data[bgather])
+                led = CostLedger()
+                prior = numeric.block_lu[k]
+                try:
+                    # Identity pivot order within the pre-pivoted block.
+                    fixed = GPResult(prior.L, prior.U,
+                                     np.arange(hi - lo, dtype=np.int64), led,
+                                     schedule=prior.schedule)
+                    lu = gp_refactor(blk, fixed, ledger=led)
+                    # Persist the compiled schedule on the prior numeric too
+                    # (covers callers that keep refactoring from one object).
+                    prior.schedule = lu.schedule
+                except SingularMatrixError:
+                    metrics.incr("klu.refactor.block_fallback")
+                    lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
+                    row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
+                    fell_back = True
+                block_lu.append(lu)
+                block_ledgers.append(led)
+                block_ws.append((lu.L.nnz + lu.U.nnz) * 12.0 + (hi - lo) * 8.0)
+                total.add(led)
 
-        if fell_back:
-            # The row permutation changed: gathers keyed to the old one
-            # no longer apply to the result.
-            Mfinal = A.permute(row_perm, symbolic.col_perm)
-            new_cache = None
-        else:
-            Mfinal = M
-            new_cache = cache
-        return KLUNumeric(
-            symbolic=symbolic,
-            block_lu=block_lu,
-            row_perm=row_perm,
-            col_perm=symbolic.col_perm,
-            M=Mfinal,
-            ledger=total,
-            block_ledgers=block_ledgers,
-            block_working_sets=block_ws,
-            row_scale=r,
-            refactor_cache=new_cache,
-        )
+            if fell_back:
+                # The row permutation changed: gathers keyed to the old one
+                # no longer apply to the result.
+                Mfinal = A.permute(row_perm, symbolic.col_perm)
+                new_cache = None
+            else:
+                Mfinal = M
+                new_cache = cache
+            sp.attach(total)
+            return KLUNumeric(
+                symbolic=symbolic,
+                block_lu=block_lu,
+                row_perm=row_perm,
+                col_perm=symbolic.col_perm,
+                M=Mfinal,
+                ledger=total,
+                block_ledgers=block_ledgers,
+                block_working_sets=block_ws,
+                row_scale=r,
+                refactor_cache=new_cache,
+            )
 
     # ------------------------------------------------------------------
     def _replay_refactor(
@@ -469,26 +511,27 @@ class KLU:
         n = numeric.symbolic.n
         if b.shape != (n,):
             raise ValueError("right-hand side has wrong length")
-        splits = numeric.symbolic.block_splits
-        if numeric.row_scale is not None:
-            b = b * numeric.row_scale  # solve (R A) x = R b
-        c = b[numeric.row_perm].copy()
-        z = np.zeros(n, dtype=np.float64)
-        M = numeric.M
-        for k in range(numeric.symbolic.n_blocks - 1, -1, -1):
-            lo, hi = int(splits[k]), int(splits[k + 1])
-            lu = numeric.block_lu[k]
-            # row_perm already folds in the block pivoting, so the
-            # diagonal block of M is exactly L_k @ U_k.
-            zk = lu_solve_factors(lu.L, lu.U, c[lo:hi])
-            z[lo:hi] = zk
-            # Subtract this block's contribution from the rows above
-            # (block upper triangular: only rows < lo are affected).
-            for j in range(lo, hi):
-                rows, vals = M.col(j)
-                cut = np.searchsorted(rows, lo)
-                if cut:
-                    c[rows[:cut]] -= vals[:cut] * z[j]
-        x = np.empty(n, dtype=np.float64)
-        x[numeric.col_perm] = z
+        with get_tracer().span("solve.tri"):
+            splits = numeric.symbolic.block_splits
+            if numeric.row_scale is not None:
+                b = b * numeric.row_scale  # solve (R A) x = R b
+            c = b[numeric.row_perm].copy()
+            z = np.zeros(n, dtype=np.float64)
+            M = numeric.M
+            for k in range(numeric.symbolic.n_blocks - 1, -1, -1):
+                lo, hi = int(splits[k]), int(splits[k + 1])
+                lu = numeric.block_lu[k]
+                # row_perm already folds in the block pivoting, so the
+                # diagonal block of M is exactly L_k @ U_k.
+                zk = lu_solve_factors(lu.L, lu.U, c[lo:hi])
+                z[lo:hi] = zk
+                # Subtract this block's contribution from the rows above
+                # (block upper triangular: only rows < lo are affected).
+                for j in range(lo, hi):
+                    rows, vals = M.col(j)
+                    cut = np.searchsorted(rows, lo)
+                    if cut:
+                        c[rows[:cut]] -= vals[:cut] * z[j]
+            x = np.empty(n, dtype=np.float64)
+            x[numeric.col_perm] = z
         return x

@@ -49,6 +49,7 @@ import numpy as np
 
 from ..contracts import domains
 from ..errors import SingularMatrixError
+from ..obs.tracer import get_tracer
 from .csc import CSC
 
 __all__ = [
@@ -225,6 +226,11 @@ def compile_triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     order = np.argsort(lev, kind="stable")
     n_levels = int(lev.max()) + 1 if n else 0
     sizes = np.bincount(lev, minlength=n_levels) if n else np.empty(0, dtype=np.int64)
+    metrics = get_tracer().metrics
+    if metrics.enabled:
+        metrics.set_gauge(f"schedule.tri.{kind}.n_levels", n_levels)
+        for width in sizes:
+            metrics.observe("schedule.tri.level_width", int(width))
     ptr = np.concatenate(([0], np.cumsum(sizes)))
     levels: List[_TriLevel] = []
     empty = np.empty(0, dtype=np.int64)
@@ -275,8 +281,16 @@ def triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     if cache is None:
         cache = {}
         M._solve_schedules = cache
+    metrics = get_tracer().metrics
     sched = cache.get(kind)
-    if sched is None or not sched.matches(M):
+    if sched is None:
+        metrics.incr("schedule.tri.miss")
+    elif not sched.matches(M):
+        metrics.incr("schedule.tri.invalidate")
+        sched = None
+    else:
+        metrics.incr("schedule.tri.hit")
+    if sched is None:
         sched = compile_triangular_schedule(M, kind)
         cache[kind] = sched
     return sched

@@ -64,6 +64,79 @@ class TestCLI:
         assert A.n_rows > 1000
 
 
+class TestTraceCommand:
+    def _run(self, mtx_file, tmp_path, capsys, *extra):
+        base = str(tmp_path / "tr")
+        rc = main(["trace", mtx_file, "--output", base, *extra])
+        out = capsys.readouterr().out
+        return rc, base, out
+
+    def test_human_exit_zero_and_outputs(self, mtx_file, tmp_path, capsys):
+        rc, base, out = self._run(mtx_file, tmp_path, capsys)
+        assert rc == 0
+        assert "ledger consistency: OK" in out
+        assert "solve" in out and "numeric.gp" in out
+
+    def test_perfetto_file_validates(self, mtx_file, tmp_path, capsys):
+        from repro.obs import validate_perfetto
+
+        rc, base, _ = self._run(mtx_file, tmp_path, capsys)
+        assert rc == 0
+        with open(base + ".perfetto.json") as fh:
+            doc = json.load(fh)
+        assert validate_perfetto(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"solve", "symbolic", "numeric.gp", "solve.tri"} <= names
+
+    def test_jsonl_parses_back(self, mtx_file, tmp_path, capsys):
+        from repro.obs import parse_jsonl
+
+        rc, base, _ = self._run(mtx_file, tmp_path, capsys)
+        assert rc == 0
+        with open(base + ".jsonl") as fh:
+            back = parse_jsonl(fh.read())
+        assert back["spans"][0]["name"] == "solve"
+        assert back["spans"][0]["parent"] == -1
+
+    def test_json_format_shape(self, mtx_file, tmp_path, capsys):
+        rc, base, out = self._run(
+            mtx_file, tmp_path, capsys, "--format", "json", "--refactor", "2")
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+        assert doc["ledger_problems"] == []
+        assert doc["perfetto_problems"] == []
+        # the span tree covers every pipeline phase
+        assert {"solve", "symbolic", "order.btf", "numeric.gp",
+                "refactor.replay", "solve.tri"} <= set(doc["span_names"])
+        assert doc["metrics"]["counters"].get("klu.refactor.gather.miss") == 1
+        assert doc["metrics"]["counters"].get("klu.refactor.gather.hit") == 1
+        assert doc["outputs"]["perfetto"] == base + ".perfetto.json"
+        assert doc["residual"] < 1e-8
+
+    def test_basker_merges_schedule_lanes(self, mtx_file, tmp_path, capsys):
+        rc, base, out = self._run(
+            mtx_file, tmp_path, capsys,
+            "--solver", "basker", "--threads", "2", "--format", "json")
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["ok"] is True
+        with open(base + ".perfetto.json") as fh:
+            trace = json.load(fh)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {0, 1}  # pipeline spans + simulated schedule lanes
+
+    def test_wall_flag_records_wall_seconds(self, mtx_file, tmp_path, capsys):
+        from repro.obs import parse_jsonl
+
+        rc, base, _ = self._run(mtx_file, tmp_path, capsys, "--wall")
+        assert rc == 0
+        with open(base + ".jsonl") as fh:
+            back = parse_jsonl(fh.read())
+        root = back["spans"][0]
+        assert root["wall_s"] is not None and root["wall_s"] > 0
+
+
 class TestChromeTrace:
     def test_events_cover_tasks(self):
         tasks = [

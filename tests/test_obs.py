@@ -1,0 +1,353 @@
+"""Unit tests for :mod:`repro.obs` — tracer, metrics, exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Metrics,
+    NULL_TRACER,
+    NullMetrics,
+    Tracer,
+    check_ledger_tree,
+    get_tracer,
+    modeled_times,
+    parse_jsonl,
+    set_tracer,
+    span_tree,
+    to_jsonl,
+    to_perfetto,
+    tracing,
+    validate_perfetto,
+)
+from repro.parallel.ledger import CostLedger
+from repro.parallel.machine import SANDY_BRIDGE
+
+
+def _led(**kw):
+    return CostLedger(**kw)
+
+
+# ----------------------------------------------------------------------
+# tracer
+
+
+def test_span_nesting_sids_and_depth():
+    tr = Tracer()
+    with tr.span("a") as a:
+        with tr.span("b") as b:
+            with tr.span("c") as c:
+                pass
+        with tr.span("d") as d:
+            pass
+    assert [s.sid for s in tr.spans] == [0, 1, 2, 3]
+    assert [s.name for s in tr.spans] == ["a", "b", "c", "d"]
+    assert a.parent_sid == -1 and a.depth == 0
+    assert b.parent_sid == a.sid and b.depth == 1
+    assert c.parent_sid == b.sid and c.depth == 2
+    assert d.parent_sid == a.sid and d.depth == 1
+    assert tr.roots == [a]
+    assert a.children == [b, d]
+    assert b.children == [c]
+
+
+def test_leaf_span_without_with_nests_under_stack_top():
+    tr = Tracer()
+    with tr.span("parent"):
+        leaf = tr.span("leaf").set(k=1).attach(_led(columns=2))
+    assert leaf.parent_sid == 0
+    assert leaf.attrs == {"k": 1}
+    assert tr.roots[0].children == [leaf]
+
+
+def test_attach_copies_at_call_and_accumulates():
+    tr = Tracer()
+    led = _led(sparse_flops=4)
+    sp = tr.span("x").attach(led)
+    led.sparse_flops = 99  # later mutation must not leak into the span
+    assert sp.ledger.sparse_flops == 4
+    sp.attach(_led(sparse_flops=1))
+    assert sp.ledger.sparse_flops == 5
+
+
+def test_attach_overhead_and_ledger_total():
+    tr = Tracer()
+    with tr.span("p") as p:
+        tr.span("c1").attach(_led(dense_flops=3))
+        tr.span("c2").attach(_led(dense_flops=5))
+    p.attach_overhead(_led(mem_words=7))
+    total = p.ledger_total()  # no attached ledger: overhead + children
+    assert total.dense_flops == 8 and total.mem_words == 7
+
+
+def test_check_ledger_tree_ok_and_violation():
+    tr = Tracer()
+    with tr.span("p") as p:
+        tr.span("c").attach(_led(columns=4))
+    p.attach_overhead(_led(columns=1))
+    p.attach(_led(columns=5))
+    assert check_ledger_tree(tr) == []
+    p.ledger.columns = 6  # break conservation
+    problems = check_ledger_tree(tr)
+    assert len(problems) == 1 and "columns" in problems[0]
+
+
+def test_check_ledger_tree_skips_costless_children():
+    tr = Tracer()
+    with tr.span("p") as p:
+        tr.span("structural_only")
+    p.attach(_led(columns=3))
+    assert check_ledger_tree(tr) == []
+
+
+def test_wall_clock_capture_opt_in():
+    ticks = iter([1.0, 2.5])
+    tr = Tracer(wall_clock=lambda: next(ticks))
+    with tr.span("w") as w:
+        pass
+    assert w.wall_seconds == 1.5
+    tr2 = Tracer()
+    with tr2.span("no") as sp:
+        pass
+    assert sp.wall_seconds is None
+
+
+def test_null_tracer_is_zero_cost_and_default():
+    assert get_tracer() is NULL_TRACER
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER.metrics, NullMetrics)
+    s1 = NULL_TRACER.span("a")
+    s2 = NULL_TRACER.span("b")
+    assert s1 is s2  # one shared inert span, no allocation
+    with s1 as inner:
+        assert inner.set(x=1) is inner
+        assert inner.attach(_led()) is inner
+        assert inner.attach_overhead(_led()) is inner
+
+
+def test_tracing_swaps_and_restores():
+    tr = Tracer()
+    with tracing(tr) as active:
+        assert active is tr and get_tracer() is tr
+        inner = Tracer()
+        with tracing(inner):
+            assert get_tracer() is inner
+        assert get_tracer() is tr
+    assert get_tracer() is NULL_TRACER
+
+
+def test_set_tracer_none_resets_to_null():
+    tr = Tracer()
+    set_tracer(tr)
+    try:
+        assert get_tracer() is tr
+    finally:
+        set_tracer(None)
+    assert get_tracer() is NULL_TRACER
+
+
+# ----------------------------------------------------------------------
+# metrics
+
+
+def test_metrics_counters_gauges_stats():
+    m = Metrics()
+    m.incr("hits")
+    m.incr("hits", 2)
+    m.set_gauge("blocks", 7)
+    m.set_gauge("blocks", 9)
+    for v in (4, 1, 6):
+        m.observe("width", v)
+    assert m.counter("hits") == 3
+    assert m.counter("never") == 0
+    snap = m.snapshot()
+    assert snap["counters"] == {"hits": 3}
+    assert snap["gauges"] == {"blocks": 9}
+    assert snap["stats"]["width"] == {"count": 3, "total": 11, "min": 1, "max": 6}
+
+
+def test_metrics_snapshot_sorted_and_json_stable():
+    m = Metrics()
+    m.incr("zzz")
+    m.incr("aaa")
+    snap = m.snapshot()
+    assert list(snap["counters"]) == ["aaa", "zzz"]
+    assert json.dumps(snap) == json.dumps(m.snapshot())
+
+
+def test_null_metrics_noops():
+    m = NullMetrics()
+    m.incr("x")
+    m.set_gauge("g", 1)
+    m.observe("s", 2)
+    assert m.counter("x") == 0
+    assert m.snapshot() == {"counters": {}, "gauges": {}, "stats": {}}
+
+
+# ----------------------------------------------------------------------
+# exporters
+
+
+def _sample_tracer():
+    tr = Tracer()
+    with tr.span("solve") as root:
+        root.set(matrix="toy")
+        with tr.span("symbolic") as sym:
+            sym.attach(_led(dfs_steps=100))
+        with tr.span("numeric.gp") as num:
+            tr.span("numeric.gp.block").set(block=0).attach(
+                _led(sparse_flops=1000, columns=10))
+            num.attach_overhead(_led(mem_words=50))
+            num.attach(_led(sparse_flops=1000, columns=10, mem_words=50))
+        root.attach(_led(sparse_flops=1000, columns=10,
+                         mem_words=50, dfs_steps=100))
+    tr.metrics.incr("gp.fill_nnz", 42)
+    tr.metrics.set_gauge("btf.n_blocks", 1)
+    tr.metrics.observe("schedule.tri.level_width", 4)
+    return tr
+
+
+def test_modeled_times_consistent_with_ledgers():
+    tr = _sample_tracer()
+    times = modeled_times(tr, SANDY_BRIDGE)
+    for sp in tr.spans:
+        start, dur = times[sp.sid]
+        assert dur == SANDY_BRIDGE.seconds(sp.ledger_total())
+        assert start >= 0.0
+    # children fit inside the parent after its overhead
+    root = tr.roots[0]
+    r0, rd = times[root.sid]
+    for child in root.children:
+        c0, cd = times[child.sid]
+        assert c0 >= r0 and c0 + cd <= r0 + rd + 1e-15
+
+
+def test_perfetto_export_schema_and_args():
+    tr = _sample_tracer()
+    doc = to_perfetto(tr, SANDY_BRIDGE)
+    assert validate_perfetto(doc) == []
+    json.dumps(doc)  # serializable
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert [e["name"] for e in xs] == [
+        "solve", "symbolic", "numeric.gp", "numeric.gp.block"]
+    by_name = {e["name"]: e for e in xs}
+    assert by_name["solve"]["args"]["matrix"] == "toy"
+    assert by_name["numeric.gp.block"]["args"]["ledger"]["sparse_flops"] == 1000
+    assert by_name["symbolic"]["args"]["parent"] == 0
+
+
+def test_validate_perfetto_flags_problems():
+    assert validate_perfetto({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [
+        {"name": "x", "ph": "X", "ts": 0, "dur": "oops", "pid": 0, "tid": 0},
+        {"name": "dep", "ph": "s", "id": 7},
+    ]}
+    problems = validate_perfetto(bad)
+    assert any("dur" in p for p in problems)
+    assert any("flow id 7" in p for p in problems)
+
+
+def test_jsonl_round_trip():
+    tr = _sample_tracer()
+    text = to_jsonl(tr, SANDY_BRIDGE)
+    back = parse_jsonl(text)
+    assert len(back["spans"]) == len(tr.spans)
+    assert back["counters"] == {"gp.fill_nnz": 42}
+    assert back["gauges"] == {"btf.n_blocks": 1}
+    assert back["stats"]["schedule.tri.level_width"]["count"] == 1
+    names = [s["name"] for s in back["spans"]]
+    assert names == ["solve", "symbolic", "numeric.gp", "numeric.gp.block"]
+    assert back["spans"][0]["ledger"]["dfs_steps"] == 100
+
+
+def test_parse_jsonl_rejects_unknown_type():
+    with pytest.raises(ValueError):
+        parse_jsonl('{"type": "mystery"}\n')
+
+
+def test_span_tree_stable_text():
+    tr = _sample_tracer()
+    text = span_tree(tr, SANDY_BRIDGE)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("solve")
+    assert lines[1].startswith("  symbolic")
+    assert lines[3].startswith("    numeric.gp.block")
+    assert "[block=0]" in lines[3]
+    assert text == span_tree(tr, SANDY_BRIDGE)  # deterministic
+
+
+# ----------------------------------------------------------------------
+# pipeline integration: instrumented solvers under a live tracer
+
+
+def _random_csc(n, seed):
+    from repro.sparse.csc import CSC
+
+    rng = np.random.default_rng(seed)
+    density = min(1.0, 6.0 / n)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, True)
+    rows, cols = np.nonzero(mask)
+    vals = rng.standard_normal(rows.size)
+    vals[rows == cols] += n
+    return CSC.from_coo(rows, cols, vals, (n, n))
+
+
+@pytest.mark.parametrize("solver_name", ["klu", "basker"])
+def test_pipeline_spans_conserve_ledgers(solver_name):
+    from repro.core import Basker
+    from repro.solvers import KLU
+    from repro.sparse.csc import CSC
+
+    A = _random_csc(60, seed=3)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.n_rows)
+    solver = KLU() if solver_name == "klu" else Basker(n_threads=2)
+    with tracing(Tracer()) as tr:
+        with tr.span("solve") as root:
+            sym = solver.analyze(A)
+            num = solver.factor(A, symbolic=sym)
+            pipeline = sym.ledger.copy()
+            pipeline.add(num.ledger)
+            A2 = CSC(A.n_rows, A.n_cols, A.indptr, A.indices, A.data * 1.01)
+            num = solver.refactor_fast(A2, num)
+            pipeline.add(num.ledger)
+            solver.solve(num, b)
+            root.attach(pipeline)
+    assert check_ledger_tree(tr) == []
+    names = {s.name for s in tr.spans}
+    assert {"solve", "symbolic", "order.btf", "numeric.gp",
+            "refactor.replay", "solve.tri"} <= names
+    assert validate_perfetto(to_perfetto(tr, SANDY_BRIDGE)) == []
+    # root ledger == pipeline totals, bit-identically
+    root = tr.roots[0]
+    folded = CostLedger()
+    for child in root.children:
+        folded.add(child.ledger_total())
+    for f in ("sparse_flops", "dense_flops", "dfs_steps", "mem_words", "columns"):
+        assert getattr(folded, f) == getattr(root.ledger, f)
+
+
+def test_pipeline_is_silent_when_tracing_disabled():
+    from repro.solvers import KLU
+
+    A = _random_csc(40, seed=5)
+    assert get_tracer() is NULL_TRACER
+    num = KLU().factor(A)  # must not blow up or record anything
+    assert num.ledger.sparse_flops >= 0
+    assert NULL_TRACER.metrics.snapshot() == {
+        "counters": {}, "gauges": {}, "stats": {}}
+
+
+def test_traced_and_untraced_runs_agree():
+    from repro.solvers import KLU
+
+    A = _random_csc(50, seed=7)
+    plain = KLU().factor(A)
+    with tracing(Tracer()):
+        traced = KLU().factor(A)
+    assert plain.ledger.sparse_flops == traced.ledger.sparse_flops
+    for lu_p, lu_t in zip(plain.block_lu, traced.block_lu):
+        np.testing.assert_array_equal(lu_p.U.data, lu_t.U.data)

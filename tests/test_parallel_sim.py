@@ -197,9 +197,31 @@ class TestSimulate:
         ]
         s = simulate(tasks, SANDY_BRIDGE, 2)
         lines = s.gantt().splitlines()
-        assert len(lines) == 2
+        # 2 task lines + separator + 2 per-thread util lines + summary.
+        assert len(lines) == 6
         assert lines[0].endswith(" 5") and lines[1].endswith(" 3")
         assert s.gantt({5: "first"}).splitlines()[0].endswith(" first")
+
+    def test_gantt_golden(self):
+        tasks = [
+            SimTask(tid=0, ledger=_led(sparse=1e6), thread=0, label="a"),
+            SimTask(tid=1, ledger=_led(sparse=1e6), thread=1, deps=[0], label="b"),
+        ]
+        s = simulate(tasks, SANDY_BRIDGE, 2)
+        golden = "\n".join([
+            f"t  0 [{0.0:>13.6e} .. {s.end[0]:>13.6e}] dur {s.end[0]:>13.6e} a",
+            f"t  1 [{s.start[1]:>13.6e} .. {s.end[1]:>13.6e}] dur {s.end[1] - s.start[1]:>13.6e} b",
+            "-" * 60,
+            f"t  0 busy {s.busy[0]:>13.6e} s  util {100 * s.busy[0] / s.makespan:>6.1f}%",
+            f"t  1 busy {s.busy[1]:>13.6e} s  util {100 * s.busy[1] / s.makespan:>6.1f}%",
+            f"makespan {s.makespan:>13.6e} s  sync {100 * s.sync_fraction:>6.1f}%  "
+            f"efficiency {100 * s.parallel_efficiency:>6.1f}%",
+        ])
+        assert s.gantt({0: "a", 1: "b"}) == golden
+        # Fixed-width columns: every task line aligns regardless of
+        # magnitude differences in the timestamps.
+        widths = {len(l) for l in s.gantt().splitlines()[:2]}
+        assert len(widths) == 1
 
     def test_empty_schedule_trace_and_gantt(self):
         s = simulate([], SANDY_BRIDGE, 4)
@@ -227,6 +249,30 @@ class TestSimulate:
         import json
 
         json.dumps(trace)
+
+    def test_chrome_trace_flow_and_metadata_events(self):
+        tasks = [
+            SimTask(tid=0, ledger=_led(sparse=1e6), thread=1, label="a"),
+            SimTask(tid=1, ledger=_led(sparse=1e6), thread=0, deps=[0], label="b"),
+        ]
+        s = simulate(tasks, SANDY_BRIDGE, 2)
+        events = s.to_chrome_trace({0: "a", 1: "b"}, tasks=tasks)["traceEvents"]
+        # Old shape stays a subset: the X events come first, unchanged.
+        assert [e["name"] for e in events[:2]] == ["a", "b"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["sim thread 0", "sim thread 1"]
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == len(ends) == 1
+        (fs,), (fe,) = starts, ends
+        assert fs["id"] == fe["id"]
+        assert fs["tid"] == s.thread_of[0] and fe["tid"] == s.thread_of[1]
+        assert fs["ts"] == pytest.approx(s.end[0] * 1e6)
+        assert fe["ts"] == pytest.approx(s.start[1] * 1e6)
+        assert fe["bp"] == "e"
+        import json
+
+        json.dumps(events)
 
     def test_efficiency_bounds(self):
         tasks = [SimTask(tid=i, ledger=_led(sparse=1e6)) for i in range(3)]

@@ -15,6 +15,7 @@ from repro.bench.wallclock import _klu_refactor_reference, check_regression
 from repro.core import Basker
 from repro.errors import SingularMatrixError
 from repro.interface import DirectSolver
+from repro.obs import Tracer, tracing
 from repro.parallel.ledger import CostLedger
 from repro.solvers import KLU, SupernodalLU
 from repro.solvers.gp import (
@@ -95,15 +96,20 @@ def test_gp_refactor_schedule_cached_and_propagated():
     rng = np.random.default_rng(7)
     A = random_spd_like(30, 0.2, rng)
     prior = gp_factor(A)
-    r1 = gp_refactor(perturbed_values(A, rng), prior)
-    assert r1.schedule is not None
-    assert prior.schedule is r1.schedule  # cached on the prior too
-    # The chain keeps reusing the same compiled object...
-    r2 = gp_refactor(perturbed_values(A, rng), r1)
-    assert r2.schedule is r1.schedule
-    # ...because the pattern arrays are shared, so revalidation is O(1).
-    assert r2.L.indptr is r1.L.indptr
-    assert ensure_refactor_schedule(r2, A) is r1.schedule
+    with tracing(Tracer()) as tr:
+        r1 = gp_refactor(perturbed_values(A, rng), prior)
+        assert r1.schedule is not None
+        assert prior.schedule is r1.schedule  # cached on the prior too
+        # The chain keeps reusing the same compiled object...
+        r2 = gp_refactor(perturbed_values(A, rng), r1)
+        assert r2.schedule is r1.schedule
+        # ...because the pattern arrays are shared, so revalidation is O(1).
+        assert r2.L.indptr is r1.L.indptr
+        assert ensure_refactor_schedule(r2, A) is r1.schedule
+    # Cache metrics see one compile, then reuse on every later call.
+    assert tr.metrics.counter("schedule.refactor.miss") == 1
+    assert tr.metrics.counter("schedule.refactor.hit") == 2
+    assert tr.metrics.counter("schedule.refactor.invalidate") == 0
 
 
 def test_gp_refactor_schedule_invalidated_on_pattern_change():
@@ -111,11 +117,15 @@ def test_gp_refactor_schedule_invalidated_on_pattern_change():
     rng = np.random.default_rng(11)
     A = random_spd_like(n, 0.2, rng)
     prior = gp_factor(A)
-    sched_a = ensure_refactor_schedule(prior, A)
-    # Same pattern in different array objects: revalidates by equality,
-    # no recompile.
-    A_eq = CSC(n, n, A.indptr.copy(), A.indices.copy(), A.data.copy())
-    assert ensure_refactor_schedule(prior, A_eq) is sched_a
+    tr = Tracer()
+    with tracing(tr):
+        sched_a = ensure_refactor_schedule(prior, A)
+        # Same pattern in different array objects: revalidates by
+        # equality, no recompile.
+        A_eq = CSC(n, n, A.indptr.copy(), A.indices.copy(), A.data.copy())
+        assert ensure_refactor_schedule(prior, A_eq) is sched_a
+    assert tr.metrics.counter("schedule.refactor.miss") == 1
+    assert tr.metrics.counter("schedule.refactor.hit") == 1
     # Dropping an off-diagonal entry changes the input pattern (still a
     # subset of the factor pattern): the cache must recompile, not
     # replay the stale scatter.
@@ -125,9 +135,13 @@ def test_gp_refactor_schedule_invalidated_on_pattern_change():
     indptr2 = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(np.bincount(col_of[keep], minlength=n), out=indptr2[1:])
     A_sub = CSC(n, n, indptr2, A.indices[keep], A.data[keep])
-    sched_b = ensure_refactor_schedule(prior, A_sub)
+    with tracing(Tracer()) as tr2:
+        sched_b = ensure_refactor_schedule(prior, A_sub)
     assert sched_b is not sched_a
     assert prior.schedule is sched_b
+    # The stale schedule registers as an invalidation, not a plain miss.
+    assert tr2.metrics.counter("schedule.refactor.invalidate") == 1
+    assert tr2.metrics.counter("schedule.refactor.hit") == 0
     # And the recompiled replay still matches the reference loop.
     led_v, led_r = CostLedger(), CostLedger()
     vec = gp_refactor(A_sub, prior, ledger=led_v)
@@ -175,13 +189,19 @@ def test_triangular_solves_match_reference(n, density, seed):
 def test_triangular_schedule_cached_on_matrix():
     rng = np.random.default_rng(5)
     lu = gp_factor(random_spd_like(25, 0.2, rng))
-    s1 = triangular_schedule(lu.L, "lower")
-    s2 = triangular_schedule(lu.L, "lower")
-    assert s1 is s2
-    # A different matrix object compiles its own schedule.
-    L2 = CSC(lu.L.n_rows, lu.L.n_cols, lu.L.indptr.copy(), lu.L.indices.copy(),
-             lu.L.data.copy())
-    assert triangular_schedule(L2, "lower") is not s1
+    with tracing(Tracer()) as tr:
+        s1 = triangular_schedule(lu.L, "lower")
+        s2 = triangular_schedule(lu.L, "lower")
+        assert s1 is s2
+        # A different matrix object compiles its own schedule.
+        L2 = CSC(lu.L.n_rows, lu.L.n_cols, lu.L.indptr.copy(),
+                 lu.L.indices.copy(), lu.L.data.copy())
+        assert triangular_schedule(L2, "lower") is not s1
+    assert tr.metrics.counter("schedule.tri.miss") == 2
+    assert tr.metrics.counter("schedule.tri.hit") == 1
+    # Compilation surfaces the level structure through the registry.
+    assert tr.metrics.gauges["schedule.tri.lower.n_levels"] >= 1
+    assert tr.metrics.stats["schedule.tri.level_width"]["count"] >= 1
     # But refactor results adopt the prior factor's compiled schedules.
     A = random_spd_like(25, 0.2, rng)
     prior = gp_factor(A)
