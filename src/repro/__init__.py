@@ -19,9 +19,20 @@ paper-versus-measured record of every table and figure.
 
 from .core import Basker, BaskerNumeric
 from .interface import DirectSolver, available_solvers
-from .errors import ReproError, SingularMatrixError, StructureError, TaskGraphError
+from .errors import (
+    FaultInjectionError,
+    NumericalHealthError,
+    RecoveryExhaustedError,
+    RefinementDivergedError,
+    ReproError,
+    SingularMatrixError,
+    StructureError,
+    TaskGraphError,
+    ZeroPivotError,
+)
 from .obs import Metrics, Tracer, get_tracer, tracing
 from .parallel import CostLedger, MachineModel, SANDY_BRIDGE, XEON_PHI, Schedule
+from .resilience import FaultPlan, FaultSpec
 from .solvers import KLU, SolverFailure, SupernodalLU, gp_factor, slu_mt
 from .sparse import CSC, BlockMatrix, factorization_residual, solve_residual
 
@@ -47,6 +58,13 @@ __all__ = [
     "SingularMatrixError",
     "StructureError",
     "TaskGraphError",
+    "ZeroPivotError",
+    "NumericalHealthError",
+    "RefinementDivergedError",
+    "RecoveryExhaustedError",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
     "SolverFailure",
     "Metrics",
     "Tracer",

@@ -264,7 +264,30 @@ def _cmd_trace(args) -> int:
                             A.data * (1.0 + 0.01 * (k + 1)))
                 num = solver.refactor_fast(A_cur, num)
                 pipeline.add(num.ledger)
-            x = solver.solve(num, b)
+            if args.fault:
+                # Inject one deterministic fault and trace the recovery
+                # ladder; rung spans land under this root with their
+                # ledgers attached, so conservation still checks out.
+                from .resilience.chaos import _site_for
+                from .resilience.faults import FaultPlan, FaultSpec, fault_matrix
+                from .resilience.recovery import run_ladder
+
+                site = _site_for(args.fault, args.solver, warm=True)
+                with FaultPlan([FaultSpec(site=site, kind=args.fault)],
+                               label=f"trace:{args.fault}"):
+                    A_cur = CSC(A.n_rows, A.n_cols, A.indptr, A.indices,
+                                A.data * 1.05)
+                    A_cur = fault_matrix("sequence.matrix", A_cur)
+                    prior = num if np.array_equal(A_cur.indices, A.indices) else None
+                    x, num, report = run_ladder(
+                        solver, A_cur, b, symbolic=sym, prior=prior,
+                        label=args.matrix,
+                    )
+                pipeline.add(report.ledger)
+                root.set(fault=args.fault, fault_site=site,
+                         recovered_by=report.succeeded)
+            else:
+                x = solver.solve(num, b)
             root.attach(pipeline)
             if args.solver == "basker":
                 schedule = num_factor.schedule(machine)
@@ -329,6 +352,42 @@ def _cmd_trace(args) -> int:
         print(f"wrote {jsonl_path}")
         print(f"ledger consistency: {'OK' if ok else 'FAIL'}")
     return 0 if ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .resilience.chaos import run_chaos
+    from .resilience.faults import FAULT_KINDS
+
+    kinds = args.kind or list(FAULT_KINDS)
+    doc = run_chaos(
+        names=args.matrix or None,
+        kinds=kinds,
+        solver=args.solver,
+        steps=args.steps,
+        tol=args.tol,
+        warm=not args.cold,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+    failures = doc["failures"]
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        for case in doc["cases"]:
+            rungs = [s.get("rung") for s in case["steps"] if s.get("rung")]
+            print(f"{case['matrix']:16s} {case['kind']:13s} "
+                  f"{case['classification']:15s} events={case['events']} "
+                  f"rungs={rungs}")
+        print(f"chaos: {len(doc['cases'])} case(s), "
+              f"summary={doc['summary']}, {len(failures)} failure(s)")
+        for f in failures:
+            print(f"FAILURE: {f['matrix']} x {f['kind']}: {f['classification']}")
+    if args.output:
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_bench(args) -> int:
@@ -432,10 +491,34 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--wall", action="store_true",
                    help="also record wall-clock per span (harness boundary only)")
+    p.add_argument("--fault",
+                   choices=["perturb", "nan", "pivot_zero", "drop_update",
+                            "pattern_drift"],
+                   help="inject one deterministic fault and trace the "
+                        "recovery ladder instead of the plain solve")
     p.add_argument("--format", choices=["human", "json"], default="human")
     p.add_argument("--output",
                    help="output base path (default: TRACE_<matrix>_<solver>)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("chaos", help="fault-injection sweep over the matrix suite")
+    p.add_argument("--matrix", action="append",
+                   help="suite name or .mtx path (repeatable; default: Table I suite)")
+    p.add_argument("--kind", action="append",
+                   choices=["perturb", "nan", "pivot_zero", "drop_update",
+                            "pattern_drift"],
+                   help="fault kind(s) to inject (repeatable; default: all)")
+    p.add_argument("--solver", choices=["klu", "basker"], default="klu")
+    p.add_argument("--steps", type=int, default=2,
+                   help="same-pattern sequence steps per case (default 2)")
+    p.add_argument("--tol", type=float, default=1e-10,
+                   help="componentwise backward-error acceptance (default 1e-10)")
+    p.add_argument("--cold", action="store_true",
+                   help="cold-start every (matrix, kind) cell instead of "
+                        "sharing one warm factorization per matrix")
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument("--output", help="also write the findings JSON to this path")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("bench", help="wall-clock microbenchmarks + regression gate")
     p.add_argument("--quick", action="store_true",

@@ -26,9 +26,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..contracts import domains
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError
 from ..obs.tracer import get_tracer
 from ..parallel.ledger import CostLedger
+from ..resilience.faults import fault_values as _fault_values
 from ..parallel.machine import MachineModel, SANDY_BRIDGE
 from ..parallel.sim import Schedule, SimTask, simulate
 from ..parallel.threads import parallel_map
@@ -106,7 +107,7 @@ class BaskerNumeric:
         """
         p = n_threads if n_threads is not None else self.symbolic.n_threads
         if p < self.symbolic.n_threads:
-            raise ValueError(
+            raise StructureError(
                 f"plan was built for {self.symbolic.n_threads} threads; "
                 f"re-run analyze/factor with n_threads={p} instead"
             )
@@ -147,7 +148,7 @@ class Basker:
         real_threads: bool = False,
     ):
         if n_threads < 1 or (n_threads & (n_threads - 1)) != 0:
-            raise ValueError("n_threads must be a power of two (paper §III-C)")
+            raise StructureError("n_threads must be a power of two (paper §III-C)")
         self.n_threads = n_threads
         self.pivot_tol = float(pivot_tol)
         self.use_btf = use_btf
@@ -339,7 +340,7 @@ class Basker:
                 }
                 numeric.refactor_cache = cache
             m_indptr, m_indices, m_gather = cache["m"]
-            m_data = A.data[m_gather]
+            m_data = _fault_values("basker.refactor.values", A.data)[m_gather]
             M = CSC(n, n, m_indptr, m_indices, m_data)
             total = CostLedger()
             total.mem_words += A.nnz
@@ -389,7 +390,7 @@ class Basker:
         b = np.asarray(b, dtype=np.float64)
         n = numeric.symbolic.n
         if b.shape != (n,):
-            raise ValueError("right-hand side has wrong length")
+            raise StructureError("right-hand side has wrong length")
         with get_tracer().span("solve.tri"):
             splits = numeric.symbolic.block_splits
             c = b[numeric.row_perm].copy()

@@ -3,7 +3,8 @@
 Every error raised by this package for a *user-facing* reason derives
 from :class:`ReproError`, so callers can catch one type.  The concrete
 subclasses also inherit the builtin exception they historically were
-(``ValueError``), so existing ``except ValueError`` call sites keep
+(``ValueError``, ``ZeroDivisionError``), so existing
+``except ValueError`` / ``except ZeroDivisionError`` call sites keep
 working.
 """
 
@@ -12,9 +13,14 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "SingularMatrixError",
+    "ZeroPivotError",
     "StructureError",
     "TaskGraphError",
     "AnalysisError",
+    "NumericalHealthError",
+    "RefinementDivergedError",
+    "RecoveryExhaustedError",
+    "FaultInjectionError",
 ]
 
 
@@ -31,9 +37,20 @@ class SingularMatrixError(ReproError, ValueError):
         self.column = column
 
 
+class ZeroPivotError(SingularMatrixError, ZeroDivisionError):
+    """A triangular solve hit a zero (or missing) diagonal entry.
+
+    Inherits ``ZeroDivisionError`` because that is what the solve
+    kernels historically raised; inherits
+    :class:`SingularMatrixError` because a zero diagonal in a factor is
+    a singularity, so the recovery ladder treats both alike.
+    """
+
+
 class StructureError(ReproError, ValueError):
     """Raised when an input violates a structural precondition
-    (non-square block, broken separator property, bad permutation)."""
+    (non-square block, broken separator property, bad permutation,
+    malformed right-hand side)."""
 
 
 class TaskGraphError(ReproError, ValueError):
@@ -45,3 +62,38 @@ class TaskGraphError(ReproError, ValueError):
 class AnalysisError(ReproError, ValueError):
     """Raised by :mod:`repro.analysis` when a checker cannot run
     (bad arguments, unknown matrix, missing schedule data)."""
+
+
+class NumericalHealthError(ReproError, ArithmeticError):
+    """A numerical-health check failed: non-finite values in factors or
+    solutions, pathological pivot growth, or an unusable condition
+    estimate.  ``what`` names the check that tripped."""
+
+    def __init__(self, message: str, what: str = ""):
+        super().__init__(message)
+        self.what = what
+
+
+class RefinementDivergedError(NumericalHealthError):
+    """Iterative refinement made the residual *grow* — the factors are
+    too inaccurate for refinement to converge.  Carries the residual
+    ``history`` observed before giving up."""
+
+    def __init__(self, message: str, history=None):
+        super().__init__(message, what="refinement")
+        self.history = list(history) if history is not None else []
+
+
+class RecoveryExhaustedError(ReproError, RuntimeError):
+    """Every rung of the recovery ladder failed.  ``attempts`` carries
+    the per-rung :class:`~repro.resilience.recovery.RungAttempt`
+    records (name, error, backward error) in the order they ran."""
+
+    def __init__(self, message: str, attempts=None):
+        super().__init__(message)
+        self.attempts = list(attempts) if attempts is not None else []
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault plan is malformed: unknown injection site or fault kind,
+    out-of-range parameters, or nested plan activation."""

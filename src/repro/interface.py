@@ -21,6 +21,7 @@ from .parallel.machine import MachineModel, SANDY_BRIDGE
 from .solvers import KLU, SupernodalLU, slu_mt
 from .solvers.extras import refine_solve, solve_multi, solve_transpose
 from .sparse.csc import CSC
+from .sparse.verify import validate_rhs
 
 __all__ = ["DirectSolver", "available_solvers"]
 
@@ -30,10 +31,12 @@ _REGISTRY = {
         pivot_tol=opts.get("pivot_tol", 0.001),
         supernodal_separators=opts.get("supernodal_separators", False),
         nd_leaves=opts.get("nd_leaves"),
+        static_perturb=opts.get("static_perturb", 0.0),
     ),
     "klu": lambda opts: KLU(
         pivot_tol=opts.get("pivot_tol", 0.001),
         scale=opts.get("scale"),
+        static_perturb=opts.get("static_perturb", 0.0),
     ),
     "pardiso": lambda opts: SupernodalLU(),
     "superlu_mt": lambda opts: slu_mt(),
@@ -105,16 +108,89 @@ class DirectSolver:
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         self._require_numeric()
+        b = validate_rhs(b, self._n)
         return solve_multi(self._impl, self._numeric, b)
 
     def solve_transpose(self, b: np.ndarray) -> np.ndarray:
         self._require_numeric()
+        b = validate_rhs(b, self._n)
         return solve_transpose(self._numeric, b)
 
-    def solve_refined(self, A: CSC, b: np.ndarray, max_steps: int = 3) -> np.ndarray:
+    def solve_refined(self, A: CSC, b: np.ndarray, max_steps: int = 3):
+        """Solve with iterative refinement.
+
+        Returns ``(x, history)`` — the refined solution and the scaled
+        residual after each refinement evaluation.  Raises
+        :class:`~repro.errors.RefinementDivergedError` when the
+        residual grows instead of shrinking.
+        """
         self._require_numeric()
-        x, _ = refine_solve(self._impl, self._numeric, A, b, max_steps=max_steps)
-        return x
+        return refine_solve(self._impl, self._numeric, A, b, max_steps=max_steps)
+
+    def solve_resilient(
+        self,
+        A: CSC,
+        b: np.ndarray,
+        tol: float = 1e-10,
+        refine_steps: int = 4,
+        label: str = "",
+    ):
+        """Solve through the recovery ladder (see
+        :func:`repro.resilience.recovery.run_ladder`).
+
+        Starts from the cheap values-only replay when a prior numeric
+        factorization with the same pattern exists, escalating to full
+        refactorization, strict re-pivoting, static perturbation +
+        refinement, and finally a dense LU — each candidate verified by
+        its componentwise backward error before acceptance.  Returns
+        ``(x, report)``; raises
+        :class:`~repro.errors.RecoveryExhaustedError` when every rung
+        fails.
+        """
+        from .resilience.recovery import run_ladder
+
+        if self._symbolic is None:
+            self.symbolic_factorization(A)
+        prior = self._numeric
+        if prior is not None and not (
+            self._pattern is not None
+            and np.array_equal(A.indptr, self._pattern[0])
+            and np.array_equal(A.indices, self._pattern[1])
+        ):
+            prior = None  # pattern changed: the replay rung cannot apply
+
+        def make_variant(**overrides):
+            return _REGISTRY[self.name]({**self.options, **overrides})
+
+        x, numeric, report = run_ladder(
+            self._impl,
+            A,
+            b,
+            symbolic=self._symbolic,
+            prior=prior,
+            make_variant=make_variant,
+            tol=tol,
+            refine_steps=refine_steps,
+            label=label,
+        )
+        if numeric is not None:
+            self._numeric = numeric
+            self._pattern = (A.indptr, A.indices)
+        return x, report
+
+    def health_report(
+        self,
+        A: CSC,
+        x: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        tol: float = 1e-10,
+    ):
+        """Numerical-health diagnostics of the current factorization
+        (see :func:`repro.resilience.health.factor_health`)."""
+        from .resilience.health import factor_health
+
+        self._require_numeric()
+        return factor_health(self._impl, self._numeric, A, x=x, b=b, tol=tol)
 
     # ------------------------------------------------------------------
     @property

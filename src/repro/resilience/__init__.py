@@ -1,0 +1,68 @@
+"""repro.resilience — numerical health, fault injection, recovery.
+
+Three layers (see docs/API.md "Resilience and recovery"):
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (:class:`FaultPlan`) at named sites compiled into the
+  GP/KLU/Basker kernels and the schedule replay.
+* :mod:`repro.resilience.health` — :class:`HealthReport` diagnostics
+  (pivot growth, Hager/Higham condest, Oettli–Prager backward error,
+  NaN/Inf scans) recorded through the metrics registry.
+* :mod:`repro.resilience.recovery` — the bounded recovery ladder
+  (replay → refactor → re-pivot → static perturbation + refinement →
+  dense fallback) producing a :class:`RecoveryReport`.
+* :mod:`repro.resilience.chaos` — the suite-wide chaos sweep behind
+  ``python -m repro chaos``.
+
+``faults`` is import-light (the kernels import it); the heavier
+modules load lazily so arming a fault plan never drags the solver
+stack into kernel import time.
+"""
+
+from __future__ import annotations
+
+from .faults import (
+    FAULT_KINDS,
+    KNOWN_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "KNOWN_SITES",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "HealthReport",
+    "factor_health",
+    "componentwise_backward_error",
+    "RECOVERY_LADDER",
+    "RungAttempt",
+    "RecoveryReport",
+    "run_ladder",
+    "run_chaos",
+]
+
+_LAZY = {
+    "HealthReport": "health",
+    "factor_health": "health",
+    "componentwise_backward_error": "health",
+    "RECOVERY_LADDER": "recovery",
+    "RungAttempt": "recovery",
+    "RecoveryReport": "recovery",
+    "run_ladder": "recovery",
+    "run_chaos": "chaos",
+}
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module 'repro.resilience' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{mod}", __name__), name)

@@ -1,0 +1,267 @@
+"""The recovery ladder: bounded escalation from a degraded solve.
+
+When a solve/refactor step degrades — a reused pivot collapses, a
+fault corrupts the replay, the matrix drifts — the ladder escalates
+through increasingly expensive (and increasingly robust) strategies,
+verifying each candidate solution with the componentwise
+Oettli–Prager backward error before accepting it:
+
+1. ``replay``          — values-only ``refactor_fast`` on the prior
+                         numeric object (the cheap path that normally
+                         runs every step).
+2. ``refactor``        — full numeric factorization with fresh
+                         pivoting on the existing symbolic analysis.
+3. ``repivot``         — fresh symbolic + numeric factorization with
+                         *strict partial pivoting* (``pivot_tol=1.0``),
+                         abandoning the diagonal preference that
+                         trades stability for sparsity.
+4. ``perturb_refine``  — static pivot perturbation
+                         (``sqrt(eps) * max|A|``) so the factorization
+                         cannot fail structurally, then iterative
+                         refinement to win the accuracy back.
+5. ``dense_fallback``  — dense LU with partial pivoting plus
+                         refinement; the last resort for small/ugly
+                         blocks (GLU3.0-style re-pivot recovery).
+
+Every rung is traced as a ``resilience.rung.<name>`` span (with its
+cost ledger attached, so ``check_ledger_tree`` stays bit-exact),
+counted as ``resilience.*`` metrics, and summarized in a
+:class:`RecoveryReport`.  If no rung produces a verified solution the
+ladder raises :class:`~repro.errors.RecoveryExhaustedError` carrying
+the attempt records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import RecoveryExhaustedError, ReproError
+from ..obs.tracer import get_tracer
+from ..parallel.ledger import CostLedger
+from ..solvers.dense import dense_lu_factor
+from ..solvers.extras import refine_solve
+from ..solvers.triangular import lu_solve_factors
+from ..sparse.csc import CSC
+from ..sparse.verify import componentwise_backward_error, validate_rhs
+
+__all__ = [
+    "RECOVERY_LADDER",
+    "RungAttempt",
+    "RecoveryReport",
+    "run_ladder",
+]
+
+RECOVERY_LADDER = ("replay", "refactor", "repivot", "perturb_refine", "dense_fallback")
+
+LOOSE_PIVOT_TOL = 1.0  # strict partial pivoting for the re-pivot rung
+
+
+@dataclass
+class RungAttempt:
+    """One bounded attempt at one ladder rung."""
+
+    rung: str
+    ok: bool
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    backward_error: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rung": self.rung,
+            "ok": self.ok,
+            "error_type": self.error_type,
+            "error": self.error,
+            "backward_error": self.backward_error,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Structured summary of one ladder run."""
+
+    attempts: List[RungAttempt] = field(default_factory=list)
+    succeeded: Optional[str] = None      # rung name, or None when exhausted
+    backward_error: Optional[float] = None
+    ledger: CostLedger = field(default_factory=CostLedger)
+
+    @property
+    def ok(self) -> bool:
+        return self.succeeded is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "succeeded": self.succeeded,
+            "backward_error": self.backward_error,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+def _static_perturbation(A: CSC) -> float:
+    scale = float(np.max(np.abs(A.data), initial=1.0))
+    if not np.isfinite(scale) or scale == 0.0:
+        scale = 1.0
+    return float(np.sqrt(np.finfo(np.float64).eps)) * scale
+
+
+def run_ladder(
+    impl,
+    A: CSC,
+    b: np.ndarray,
+    symbolic=None,
+    prior=None,
+    make_variant: Optional[Callable[..., object]] = None,
+    tol: float = 1e-10,
+    refine_steps: int = 4,
+    label: str = "",
+) -> Tuple[np.ndarray, Optional[object], RecoveryReport]:
+    """Escalate through the recovery ladder until a verified solve.
+
+    Parameters
+    ----------
+    impl
+        The solver instance (KLU / Basker / SupernodalLU flavoured)
+        whose ``analyze``/``factor``/``refactor_fast``/``solve``
+        methods drive rungs 1–2.
+    symbolic, prior
+        The existing symbolic analysis and prior numeric object; the
+        ``replay`` rung is skipped when ``prior`` is None.
+    make_variant
+        ``make_variant(**overrides) -> solver`` factory used by the
+        ``repivot``/``perturb_refine`` rungs to build a solver with
+        ``pivot_tol``/``static_perturb`` overridden.  When absent those
+        rungs reuse ``impl`` (still with a fresh symbolic analysis).
+    tol
+        Componentwise backward-error acceptance threshold.
+
+    Returns ``(x, numeric, report)`` — ``numeric`` is the accepted
+    factorization when the winning rung produced an ``impl``-compatible
+    one (None for the dense fallback).  Raises
+    :class:`~repro.errors.RecoveryExhaustedError` when every rung
+    fails, with ``attempts`` carrying the per-rung records.
+    """
+    tr = get_tracer()
+    metrics = tr.metrics
+    report = RecoveryReport()
+    b64 = validate_rhs(b, A.n_rows)
+
+    def attempt(rung: str, fn) -> Optional[Tuple[np.ndarray, Optional[object]]]:
+        metrics.incr("resilience.attempts")
+        metrics.incr(f"resilience.rung.{rung}.attempts")
+        with tr.span(f"resilience.rung.{rung}") as sp:
+            if tr.enabled and label:
+                sp.set(matrix=label)
+            try:
+                x, numeric, led = fn()
+            except ReproError as exc:
+                report.attempts.append(RungAttempt(
+                    rung=rung, ok=False,
+                    error_type=type(exc).__name__, error=str(exc),
+                ))
+                if tr.enabled:
+                    sp.set(ok=False, error=type(exc).__name__)
+                return None
+            if led is not None:
+                report.ledger.add(led)
+                sp.attach(led)
+            berr = componentwise_backward_error(A, x, b64)
+            ok = bool(np.isfinite(berr) and berr <= tol)
+            report.attempts.append(RungAttempt(
+                rung=rung, ok=ok,
+                error_type=None if ok else "backward_error",
+                error=None if ok else f"componentwise backward error {berr:.3e}",
+                backward_error=float(berr) if np.isfinite(berr) else None,
+            ))
+            if tr.enabled:
+                sp.set(ok=ok, backward_error=float(berr) if np.isfinite(berr) else -1.0)
+            if not ok:
+                return None
+            metrics.incr(f"resilience.rung.{rung}.success")
+            report.succeeded = rung
+            report.backward_error = float(berr)
+            return x, numeric
+
+    # -- rung 1: values-only replay on the prior numeric ----------------
+    if prior is not None:
+        def _replay():
+            numeric = impl.refactor_fast(A, prior)
+            return impl.solve(numeric, b64), numeric, numeric.ledger
+        out = attempt("replay", _replay)
+        if out is not None:
+            return out[0], out[1], report
+
+    # -- rung 2: full refactorization, fresh pivoting --------------------
+    def _refactor():
+        led = CostLedger()
+        sym = symbolic
+        if sym is None:
+            sym = impl.analyze(A)
+            led.add(sym.ledger)
+        numeric = impl.factor(A, symbolic=sym)
+        led.add(numeric.ledger)
+        return impl.solve(numeric, b64), numeric, led
+    out = attempt("refactor", _refactor)
+    if out is not None:
+        return out[0], out[1], report
+
+    # -- rung 3: re-pivot with strict partial pivoting -------------------
+    def _repivot():
+        solver = impl if make_variant is None else make_variant(
+            pivot_tol=LOOSE_PIVOT_TOL
+        )
+        led = CostLedger()
+        sym = solver.analyze(A)          # fresh: the pattern may have drifted
+        led.add(sym.ledger)
+        numeric = solver.factor(A, symbolic=sym)
+        led.add(numeric.ledger)
+        x = solver.solve(numeric, b64)
+        compatible = solver is impl or type(solver) is type(impl)
+        return x, (numeric if compatible else None), led
+    out = attempt("repivot", _repivot)
+    if out is not None:
+        return out[0], out[1], report
+
+    # -- rung 4: static pivot perturbation + iterative refinement --------
+    def _perturb_refine():
+        eps = _static_perturbation(A)
+        solver = impl if make_variant is None else make_variant(
+            pivot_tol=LOOSE_PIVOT_TOL, static_perturb=eps
+        )
+        led = CostLedger()
+        sym = solver.analyze(A)
+        led.add(sym.ledger)
+        numeric = solver.factor(A, symbolic=sym)
+        led.add(numeric.ledger)
+        x, _hist = refine_solve(solver, numeric, A, b64, max_steps=refine_steps)
+        # The perturbed factorization is not a faithful factorization of
+        # A; never hand it back for later replays.
+        return x, None, led
+    out = attempt("perturb_refine", _perturb_refine)
+    if out is not None:
+        return out[0], out[1], report
+
+    # -- rung 5: dense LU fallback ---------------------------------------
+    def _dense_fallback():
+        led = CostLedger()
+        lu = dense_lu_factor(A, static_perturb=_static_perturbation(A), ledger=led)
+        x = lu_solve_factors(lu.L, lu.U, b64[lu.row_perm])
+        for _ in range(refine_steps):
+            r = b64 - A.matvec(x)
+            if float(np.max(np.abs(r), initial=0.0)) == 0.0:
+                break
+            x = x + lu_solve_factors(lu.L, lu.U, r[lu.row_perm])
+        return x, None, led
+    out = attempt("dense_fallback", _dense_fallback)
+    if out is not None:
+        return out[0], out[1], report
+
+    metrics.incr("resilience.exhausted")
+    raise RecoveryExhaustedError(
+        f"recovery ladder exhausted after {len(report.attempts)} attempt(s)"
+        + (f" on {label}" if label else ""),
+        attempts=report.attempts,
+    )

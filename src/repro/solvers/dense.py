@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError
 from ..parallel.ledger import CostLedger
 from ..sparse.csc import CSC
 from .gp import GPResult
@@ -39,7 +39,7 @@ def dense_lu_factor(
     """
     n = A.n_cols
     if A.n_rows != n:
-        raise ValueError("dense LU requires a square matrix")
+        raise StructureError("dense LU requires a square matrix")
     led = ledger if ledger is not None else CostLedger()
     if n == 0:
         e = CSC.empty(0, 0)

@@ -14,8 +14,10 @@ from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import RefinementDivergedError, StructureError
 from ..sparse.csc import CSC
 from ..sparse.ops import unit_lower_solve_T, upper_solve_T
+from ..sparse.verify import validate_rhs
 
 __all__ = [
     "solve_multi",
@@ -60,7 +62,7 @@ def solve_transpose(numeric, b: np.ndarray) -> np.ndarray:
     b = np.asarray(b, dtype=np.float64)
     n = int(splits[-1])
     if b.shape != (n,):
-        raise ValueError("right-hand side has wrong length")
+        raise StructureError("right-hand side has wrong length")
     c = b[col_perm].copy()
     z = np.zeros(n, dtype=np.float64)
     for k in range(len(blocks)):
@@ -93,7 +95,7 @@ def solve_multi(solver, numeric, B: np.ndarray) -> np.ndarray:
     if B.ndim == 1:
         return solver.solve(numeric, B)
     if B.ndim != 2:
-        raise ValueError("B must be a vector or a 2-D block of RHS")
+        raise StructureError("B must be a vector or a 2-D block of RHS")
     X = np.empty_like(B)
     for j in range(B.shape[1]):
         X[:, j] = solver.solve(numeric, B[:, j])
@@ -112,21 +114,43 @@ def refine_solve(
 
     Returns the refined solution and the history of scaled residual
     norms (one entry per evaluation, including the initial solve).
+    Stops early once the residual stagnates (shrinking by less than
+    10% per step) and raises
+    :class:`~repro.errors.RefinementDivergedError` when it grows past
+    10x the initial residual or turns non-finite — a diverging
+    correction means the factorization is too inaccurate to refine.
     """
-    b = np.asarray(b, dtype=np.float64)
+    b = validate_rhs(b, A.n_rows)
     x = solver.solve(numeric, b)
     denom = A.one_norm() * max(float(np.max(np.abs(x), initial=0.0)), 1e-300) + float(
         np.max(np.abs(b), initial=0.0)
     )
     history: List[float] = []
+    best_x, best_res = x, float("inf")
     for _ in range(max_steps + 1):
         r = b - A.matvec(x)
         res = float(np.max(np.abs(r), initial=0.0)) / denom
+        if not np.isfinite(res):
+            raise RefinementDivergedError(
+                "iterative refinement produced a non-finite residual",
+                history=history + [res],
+            )
         history.append(res)
+        if res < best_res:
+            best_res, best_x = res, x
         if res <= tol:
             break
+        if len(history) > 1:
+            if res > 2.0 * history[-2] and res > history[0]:
+                raise RefinementDivergedError(
+                    f"iterative refinement diverged: residual "
+                    f"{history[0]:.3e} -> {res:.3e}",
+                    history=history,
+                )
+            if res > 0.9 * history[-2]:
+                break  # stagnated: further corrections are noise
         x = x + solver.solve(numeric, r)
-    return x, history
+    return best_x, history
 
 
 # ----------------------------------------------------------------------

@@ -26,10 +26,11 @@ from typing import Optional
 import numpy as np
 
 from ..contracts import domains
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..obs.tracer import get_tracer
 from ..parallel.ledger import CostLedger
+from ..resilience.faults import fault_values as _fault_values
 from ..sparse.csc import CSC
 from ..sparse.schedule import (
     RefactorSchedule,
@@ -134,15 +135,22 @@ def gp_refactor(
     """
     n = A.n_cols
     if A.n_rows != n:
-        raise ValueError("GP refactorization requires a square matrix")
+        raise StructureError("GP refactorization requires a square matrix")
     if prior.L.shape != (n, n):
-        raise ValueError("prior factors have the wrong shape")
+        raise StructureError("prior factors have the wrong shape")
     led = ledger if ledger is not None else CostLedger()
     if n == 0:
         e = CSC.empty(0, 0)
         return GPResult(e, e, np.empty(0, dtype=np.int64), led)
     sched = ensure_refactor_schedule(prior, A)
-    Lx, Ux = sched.run(A.data, led, pivot_floor=pivot_floor)
+    a_data = _fault_values("gp.refactor.values", A.data)
+    Lx, Ux = sched.run(a_data, led, pivot_floor=pivot_floor)
+    metrics = get_tracer().metrics
+    if metrics.enabled:
+        # Amortized health gauge: one vectorized pass per refactor step.
+        amax = float(np.max(np.abs(a_data), initial=0.0))
+        umax = float(np.max(np.abs(Ux), initial=0.0))
+        metrics.set_gauge("gp.pivot_growth", umax / amax if amax else 0.0)
     L, U = prior.L, prior.U
     # Pattern arrays and the row permutation are shared with the prior
     # factors (immutable by convention): across a fixed-pattern
@@ -166,9 +174,9 @@ def gp_refactor_reference(
     """Reference per-column loop for :func:`gp_refactor` (oracle)."""
     n = A.n_cols
     if A.n_rows != n:
-        raise ValueError("GP refactorization requires a square matrix")
+        raise StructureError("GP refactorization requires a square matrix")
     if prior.L.shape != (n, n):
-        raise ValueError("prior factors have the wrong shape")
+        raise StructureError("prior factors have the wrong shape")
     led = ledger if ledger is not None else CostLedger()
     if n == 0:
         e = CSC.empty(0, 0)
@@ -253,8 +261,11 @@ def gp_factor(
     """
     n = A.n_cols
     if A.n_rows != n:
-        raise ValueError("GP factorization requires a square matrix")
+        raise StructureError("GP factorization requires a square matrix")
     led = ledger if ledger is not None else CostLedger()
+    a_fault = _fault_values("gp.factor.values", A.data)
+    if a_fault is not A.data:
+        A = CSC(n, n, A.indptr, A.indices, a_fault)
 
     if n == 0:
         e = CSC.empty(0, 0)
@@ -400,6 +411,9 @@ def gp_factor(
     if metrics.enabled:
         metrics.incr("gp.offdiag_pivots", offdiag_swaps)
         metrics.incr("gp.fill_nnz", max(0, lnz + unz - A.nnz))
+        amax = float(np.max(np.abs(A.data), initial=0.0))
+        umax = float(np.max(np.abs(Ux[:unz]), initial=0.0))
+        metrics.set_gauge("gp.pivot_growth", umax / amax if amax else 0.0)
 
     # Renumber L's rows into pivot order and sort both factors.
     Lfinal = CSC(n, n, Lp, pinv[Li[:lnz]], Lx[:lnz].copy()).sort_indices()

@@ -25,9 +25,10 @@ from ..contracts import domains
 from ..obs.tracer import get_tracer
 from ..ordering.amd import amd_order
 from ..ordering.btf import BTFResult, btf
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError
 from ..ordering.perm import invert
 from ..parallel.ledger import CostLedger
+from ..resilience.faults import fault_values as _fault_values
 from ..parallel.machine import MachineModel
 from ..sparse.csc import CSC
 from ..sparse.schedule import (
@@ -177,12 +178,14 @@ class KLU:
         pivot_tol: float = GP_DEFAULT_PIVOT_TOL,
         use_btf: bool = True,
         scale: str | None = None,
+        static_perturb: float = 0.0,
     ):
         if scale not in (None, "max", "sum"):
-            raise ValueError("scale must be None, 'max' or 'sum'")
+            raise StructureError("scale must be None, 'max' or 'sum'")
         self.pivot_tol = float(pivot_tol)
         self.use_btf = use_btf
         self.scale = scale
+        self.static_perturb = float(static_perturb)
 
     def _row_scale(self, A: CSC) -> np.ndarray:
         """Row equilibration factors r with R = diag(r)."""
@@ -201,7 +204,7 @@ class KLU:
         """Pattern analysis: MWCM + BTF + per-block AMD."""
         n = A.n_rows
         if A.n_cols != n:
-            raise ValueError("KLU requires a square matrix")
+            raise StructureError("KLU requires a square matrix")
         tr = get_tracer()
         with tr.span("symbolic") as sp:
             led = CostLedger()
@@ -263,7 +266,8 @@ class KLU:
                 with tr.span("numeric.gp.block") as bsp:
                     if tr.enabled:
                         bsp.set(block=k, n=hi - lo)
-                    lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
+                    lu = gp_factor(blk, pivot_tol=self.pivot_tol,
+                                   static_perturb=self.static_perturb, ledger=led)
                 bsp.attach(led)
                 block_lu.append(lu)
                 block_ledgers.append(led)
@@ -352,7 +356,7 @@ class KLU:
                     blocks=diagonal_block_gathers(m_indptr, m_indices, splits),
                 )
                 numeric.refactor_cache = cache
-            m_data = A.data[cache.m_gather]
+            m_data = _fault_values("klu.refactor.values", A.data)[cache.m_gather]
             M = CSC(n, n, cache.m_indptr, cache.m_indices, m_data)
             total = CostLedger()
             overhead = CostLedger()
@@ -412,7 +416,8 @@ class KLU:
                     prior.schedule = lu.schedule
                 except SingularMatrixError:
                     metrics.incr("klu.refactor.block_fallback")
-                    lu = gp_factor(blk, pivot_tol=self.pivot_tol, ledger=led)
+                    lu = gp_factor(blk, pivot_tol=self.pivot_tol,
+                                   static_perturb=self.static_perturb, ledger=led)
                     row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
                     fell_back = True
                 block_lu.append(lu)
@@ -510,7 +515,7 @@ class KLU:
         b = np.asarray(b, dtype=np.float64)
         n = numeric.symbolic.n
         if b.shape != (n,):
-            raise ValueError("right-hand side has wrong length")
+            raise StructureError("right-hand side has wrong length")
         with get_tracer().span("solve.tri"):
             splits = numeric.symbolic.block_splits
             if numeric.row_scale is not None:

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError
 from ..graph.etree import etree, postorder, symbolic_cholesky_counts, symmetric_pattern
 from ..graph.matching import mwcm_row_permutation
 from ..ordering.amd import amd_order
@@ -136,7 +136,7 @@ class SupernodalLU:
         merging a column into the running supernode).  ``fill_cap``:
         fail if the symbolic |L+U| exceeds ``fill_cap * |A|``."""
         if ordering not in ("nd", "amd", "natural"):
-            raise ValueError("ordering must be 'nd', 'amd' or 'natural'")
+            raise StructureError("ordering must be 'nd', 'amd' or 'natural'")
         self.ordering = ordering
         self.relax = int(relax)
         self.max_supernode = int(max_supernode)
@@ -151,7 +151,7 @@ class SupernodalLU:
     def analyze(self, A: CSC) -> SupernodalSymbolic:
         n = A.n_rows
         if A.n_cols != n:
-            raise ValueError("supernodal LU requires a square matrix")
+            raise StructureError("supernodal LU requires a square matrix")
         led = CostLedger()
 
         if self.use_mwcm:
@@ -519,7 +519,7 @@ class SupernodalLU:
     def solve(self, numeric: SupernodalNumeric, b: np.ndarray) -> np.ndarray:
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (numeric.symbolic.n,):
-            raise ValueError("right-hand side has wrong length")
+            raise StructureError("right-hand side has wrong length")
         c = b[numeric.row_perm]
         z = lu_solve_factors(numeric.L, numeric.U, c)
         x = np.empty_like(z)

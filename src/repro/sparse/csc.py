@@ -17,6 +17,7 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from ..contracts import domains
+from ..errors import StructureError
 
 __all__ = ["CSC"]
 
@@ -100,11 +101,11 @@ class CSC:
         c = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols, dtype=np.int64)
         v = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals, dtype=np.float64)
         if not (r.shape == c.shape == v.shape):
-            raise ValueError("rows, cols, vals must have the same length")
+            raise StructureError("rows, cols, vals must have the same length")
         if r.size and (r.min() < 0 or r.max() >= n_rows):
-            raise ValueError("row index out of range")
+            raise StructureError("row index out of range")
         if c.size and (c.min() < 0 or c.max() >= n_cols):
-            raise ValueError("column index out of range")
+            raise StructureError("column index out of range")
 
         # Sort by (col, row); stable so later duplicates stay later.
         order = np.lexsort((r, c))
@@ -139,7 +140,7 @@ class CSC:
         """Build from a dense array, dropping entries with |a| <= drop_tol."""
         a = np.asarray(a, dtype=np.float64)
         if a.ndim != 2:
-            raise ValueError("expected a 2-D array")
+            raise StructureError("expected a 2-D array")
         mask = np.abs(a) > drop_tol
         r, c = np.nonzero(mask)
         return cls.from_coo(r, c, a[r, c], a.shape)
@@ -265,7 +266,7 @@ class CSC:
         BTF/ND reorderings every 2-D block is an index range.
         """
         if not (0 <= r0 <= r1 <= self.n_rows and 0 <= c0 <= c1 <= self.n_cols):
-            raise ValueError("block bounds out of range")
+            raise StructureError("block bounds out of range")
         ncols = c1 - c0
         indptr = np.zeros(ncols + 1, dtype=np.int64)
         chunks_idx = []
@@ -322,7 +323,7 @@ class CSC:
         """y = A @ x."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_cols,):
-            raise ValueError(f"x has shape {x.shape}, expected ({self.n_cols},)")
+            raise StructureError(f"x has shape {x.shape}, expected ({self.n_cols},)")
         y = np.zeros(self.n_rows, dtype=np.float64)
         col_of = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
         np.add.at(y, self.indices, self.data * x[col_of])
@@ -332,7 +333,7 @@ class CSC:
         """y = A.T @ x."""
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_rows,):
-            raise ValueError(f"x has shape {x.shape}, expected ({self.n_rows},)")
+            raise StructureError(f"x has shape {x.shape}, expected ({self.n_rows},)")
         col_of = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
         y = np.zeros(self.n_cols, dtype=np.float64)
         np.add.at(y, col_of, self.data * x[self.indices])
@@ -346,7 +347,7 @@ class CSC:
     def add(self, other: "CSC") -> "CSC":
         """Entrywise sum (structural union)."""
         if self.shape != other.shape:
-            raise ValueError("shape mismatch")
+            raise StructureError("shape mismatch")
         col_a = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
         col_b = np.repeat(np.arange(other.n_cols), np.diff(other.indptr))
         return CSC.from_coo(

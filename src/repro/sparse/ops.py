@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..contracts import domains
+from ..errors import StructureError, ZeroPivotError
 from .csc import CSC
 from .schedule import triangular_schedule
 
@@ -67,18 +68,18 @@ def lower_solve_reference(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.n
     n = L.n_cols
     x = np.array(b, dtype=np.float64, copy=True)
     if x.shape != (n,):
-        raise ValueError("dimension mismatch")
+        raise StructureError("dimension mismatch")
     for j in range(n):
         rows, vals = L.col(j)
         if rows.size == 0:
             if not unit_diag:
-                raise ZeroDivisionError(f"empty column {j} in lower solve")
+                raise ZeroPivotError(f"empty column {j} in lower solve", column=j)
             continue
         k = np.searchsorted(rows, j)
         has_diag = k < rows.size and rows[k] == j
         if not unit_diag:
             if not has_diag or vals[k] == 0.0:
-                raise ZeroDivisionError(f"zero diagonal at column {j}")
+                raise ZeroPivotError(f"zero diagonal at column {j}", column=j)
             x[j] /= vals[k]
         xj = x[j]
         if xj != 0.0:
@@ -94,12 +95,12 @@ def upper_solve_reference(U: CSC, b: np.ndarray) -> np.ndarray:
     n = U.n_cols
     x = np.array(b, dtype=np.float64, copy=True)
     if x.shape != (n,):
-        raise ValueError("dimension mismatch")
+        raise StructureError("dimension mismatch")
     for j in range(n - 1, -1, -1):
         rows, vals = U.col(j)
         k = np.searchsorted(rows, j)
         if k >= rows.size or rows[k] != j or vals[k] == 0.0:
-            raise ZeroDivisionError(f"zero diagonal at column {j}")
+            raise ZeroPivotError(f"zero diagonal at column {j}", column=j)
         x[j] /= vals[k]
         xj = x[j]
         if xj != 0.0 and k > 0:
@@ -135,7 +136,7 @@ def upper_solve_T(U: CSC, b: np.ndarray) -> np.ndarray:
         rows, vals = U.col(j)
         k = np.searchsorted(rows, j)
         if k >= rows.size or rows[k] != j or vals[k] == 0.0:
-            raise ZeroDivisionError(f"zero diagonal at column {j}")
+            raise ZeroPivotError(f"zero diagonal at column {j}", column=j)
         if k > 0:
             x[j] -= float(vals[:k] @ x[rows[:k]])
         x[j] /= vals[k]
@@ -145,7 +146,7 @@ def upper_solve_T(U: CSC, b: np.ndarray) -> np.ndarray:
 def matmat(A: CSC, B: CSC) -> CSC:
     """Sparse product ``A @ B`` using a dense accumulator per column."""
     if A.n_cols != B.n_rows:
-        raise ValueError("dimension mismatch")
+        raise StructureError("dimension mismatch")
     acc = np.zeros(A.n_rows, dtype=np.float64)
     mark = np.full(A.n_rows, -1, dtype=np.int64)
     indptr = np.zeros(B.n_cols + 1, dtype=np.int64)

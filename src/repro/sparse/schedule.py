@@ -48,8 +48,9 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..contracts import domains
-from ..errors import SingularMatrixError
+from ..errors import SingularMatrixError, StructureError, ZeroPivotError
 from ..obs.tracer import get_tracer
+from ..resilience.faults import active_plan as _fault_plan
 from .csc import CSC
 
 __all__ = [
@@ -65,7 +66,7 @@ __all__ = [
 ]
 
 
-class ScheduleCompileError(ValueError):
+class ScheduleCompileError(StructureError):
     """The given pattern cannot be compiled into an elimination schedule
     (missing structural diagonal, pattern not closed under the update
     paths, or input entries outside the factor pattern)."""
@@ -152,7 +153,7 @@ class TriangularSchedule:
         n = self.n
         x = np.array(b, dtype=np.float64, copy=True)
         if x.shape != (n,):
-            raise ValueError("dimension mismatch")
+            raise StructureError("dimension mismatch")
         data = M.data
         use_diag = not unit_diag
         if use_diag:
@@ -166,8 +167,8 @@ class TriangularSchedule:
                 which = np.flatnonzero(bad)
                 j = int(which.max() if self.kind == "upper" else which.min())
                 if self.kind == "lower" and self.col_empty[j]:
-                    raise ZeroDivisionError(f"empty column {j} in lower solve")
-                raise ZeroDivisionError(f"zero diagonal at column {j}")
+                    raise ZeroPivotError(f"empty column {j} in lower solve", column=j)
+                raise ZeroPivotError(f"zero diagonal at column {j}", column=j)
         for lv in self.levels:
             scalars = lv.scalar_cols
             if scalars is not None:
@@ -196,9 +197,9 @@ def compile_triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     ignored, exactly as the reference loops ignore them.
     """
     if kind not in ("lower", "upper"):
-        raise ValueError("kind must be 'lower' or 'upper'")
+        raise StructureError("kind must be 'lower' or 'upper'")
     if M.n_rows != M.n_cols:
-        raise ValueError("triangular schedule requires a square matrix")
+        raise StructureError("triangular schedule requires a square matrix")
     n = M.n_cols
     indptr, indices = M.indptr, M.indices
     lev = np.zeros(n, dtype=np.int64)
@@ -416,9 +417,16 @@ class RefactorSchedule:
         attributed to each target column's group.
         """
         if group_flops is not None and self.group_columns is None:
-            raise ValueError("schedule was compiled without column groups")
+            raise StructureError("schedule was compiled without column groups")
         xwork = np.zeros(self.wtotal, dtype=np.float64)
         xwork[self.a_scatter] = a_data
+        plan = _fault_plan()
+        if plan is not None:  # fault-injection harness only; free when idle
+            pivots = (
+                np.concatenate([st.piv_wpos for st in self.stages])
+                if self.stages else np.empty(0, dtype=np.int64)
+            )
+            plan.apply_workspace("schedule.replay.workspace", xwork, pivots)
         Lx = np.empty(self.l_indices.size, dtype=np.float64)
         Ux = np.empty(self.u_indices.size, dtype=np.float64)
         Lx[self.l_diag_dst] = 1.0
@@ -492,14 +500,14 @@ def compile_refactor_schedule(
     """
     n = L.n_cols
     if L.shape != (n, n) or U.shape != (n, n) or A.shape != (n, n):
-        raise ValueError("refactor schedule requires square, same-shape factors")
+        raise StructureError("refactor schedule requires square, same-shape factors")
     row_perm = np.asarray(row_perm, dtype=np.int64)
     if row_perm.shape != (n,):
-        raise ValueError("row_perm has the wrong length")
+        raise StructureError("row_perm has the wrong length")
     if col_group is not None:
         col_group = np.asarray(col_group, dtype=np.int64)
         if col_group.shape != (n,):
-            raise ValueError("col_group has the wrong length")
+            raise StructureError("col_group has the wrong length")
         if n_groups is None:
             n_groups = int(col_group.max()) + 1 if n else 0
     Lp, Li = L.indptr, L.indices

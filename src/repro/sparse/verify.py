@@ -9,10 +9,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import StructureError
 from .csc import CSC
 from .ops import matmat
 
-__all__ = ["factorization_residual", "solve_residual", "relative_error"]
+__all__ = [
+    "factorization_residual",
+    "solve_residual",
+    "relative_error",
+    "componentwise_backward_error",
+    "validate_rhs",
+]
 
 
 def factorization_residual(
@@ -53,3 +60,56 @@ def relative_error(x: np.ndarray, x_ref: np.ndarray) -> float:
     if den == 0.0:
         return num
     return num / den
+
+
+def componentwise_backward_error(A: CSC, x: np.ndarray, b: np.ndarray) -> float:
+    """Oettli–Prager componentwise backward error.
+
+    ``omega = max_i |A x - b|_i / (|A| |x| + |b|)_i`` — the size of the
+    smallest componentwise relative perturbation of (A, b) for which
+    ``x`` is an exact solution.  0/0 components contribute 0; a nonzero
+    residual over a zero denominator (or any non-finite value in ``x``)
+    yields ``inf``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        return float("inf")
+    r = np.abs(A.matvec(x) - b)
+    absA = CSC(A.n_rows, A.n_cols, A.indptr, A.indices, np.abs(A.data))
+    denom = absA.matvec(np.abs(x)) + np.abs(b)
+    zero = denom == 0.0
+    if np.any(zero & (r > 0.0)):
+        return float("inf")
+    safe = np.where(zero, 1.0, denom)
+    ratios = np.where(zero, 0.0, r / safe)
+    if ratios.size == 0:
+        return 0.0
+    return float(np.max(ratios))
+
+
+def validate_rhs(b: np.ndarray, n: int, what: str = "b") -> np.ndarray:
+    """Validate a right-hand side: shape ``(n,)`` (or ``(n, k)``), a
+    real dtype castable to float64, and all entries finite.  Raises
+    :class:`~repro.errors.StructureError` otherwise (instead of letting
+    numpy broadcast a wrong shape or propagate NaN silently).  Returns
+    the float64 view/copy."""
+    arr = np.asarray(b)
+    if arr.dtype == object or np.iscomplexobj(arr):
+        raise StructureError(
+            f"{what} must be a real array, got dtype {arr.dtype}"
+        )
+    try:
+        arr = np.asarray(arr, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise StructureError(f"{what} is not castable to float64: {exc}") from exc
+    if arr.ndim not in (1, 2) or arr.shape[0] != n:
+        raise StructureError(
+            f"{what} has shape {arr.shape}, expected ({n},) or ({n}, k)"
+        )
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.flatnonzero(~np.isfinite(arr).reshape(-1))[0])
+        raise StructureError(
+            f"{what} contains a non-finite value (flat index {bad})"
+        )
+    return arr

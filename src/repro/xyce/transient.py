@@ -15,6 +15,9 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import NumericalHealthError, RecoveryExhaustedError, ReproError
+from ..obs.tracer import get_tracer
+from ..resilience.recovery import run_ladder
 from ..solvers.klu import KLU
 from ..sparse.csc import CSC
 from .netlist import Circuit
@@ -35,6 +38,8 @@ class TransientResult:
     matrices: List[CSC]               # every Newton Jacobian, in order
     newton_iters: List[int]           # iterations per accepted step
     converged: bool
+    rejected_steps: int = 0           # steps retried at a smaller dt
+    recovery_events: List[dict] = field(default_factory=list)
 
 
 def dc_operating_point(
@@ -78,6 +83,9 @@ def run_transient(
     record_matrices: bool = True,
     max_matrices: Optional[int] = None,
     method: str = "be",
+    recovery: bool = False,
+    dt_min: Optional[float] = None,
+    recovery_tol: float = 1e-10,
 ) -> TransientResult:
     """Integrate the circuit with backward Euler or the trapezoidal rule.
 
@@ -86,6 +94,17 @@ def run_transient(
     solves (the reference configuration for Xyce).  Every assembled
     Jacobian is recorded; the list is the input to the sequence
     benchmark.
+
+    With ``recovery=True``, a linear solve that fails (any
+    :class:`~repro.errors.ReproError`, or a non-finite Newton update)
+    is retried through the recovery ladder
+    (:func:`repro.resilience.recovery.run_ladder`); if the ladder is
+    exhausted the step is *rejected* SPICE-style — the state rolls back
+    to ``x_prev`` and the step retries at ``dt/2``, down to ``dt_min``
+    (default ``dt/64``), where
+    :class:`~repro.errors.RecoveryExhaustedError` propagates.  Ladder
+    runs and rejections are summarized in
+    ``TransientResult.recovery_events`` / ``rejected_steps``.
     """
     n = circuit.n_unknowns
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
@@ -95,19 +114,27 @@ def run_transient(
     matrices: List[CSC] = []
     iters: List[int] = []
     converged = True
+    rejected = 0
+    recovery_events: List[dict] = []
+    if dt_min is None:
+        dt_min = dt / 64.0
 
     klu = KLU()
+    make_variant = lambda **ov: KLU(**ov)  # noqa: E731 — ladder variant factory
     symbolic = None
     dyn_state: dict = {}
+    metrics = get_tracer().metrics
 
     t = 0.0
+    step_dt_next = dt
     while t < t_end - 1e-15:
         if record_matrices and max_matrices is not None and len(matrices) >= max_matrices:
             break  # recorded enough; no need to integrate further
-        t_next = min(t + dt, t_end)
+        t_next = min(t + step_dt_next, t_end)
         step_dt = t_next - t
         x_prev = x.copy()
         ok = False
+        failure: Optional[RecoveryExhaustedError] = None
         # Trapezoidal startup: the first step runs backward Euler and
         # seeds the device history (the unknown initial currents).
         step_method = "be" if (method == "trap" and not times[1:]) else method
@@ -117,8 +144,38 @@ def run_transient(
                 matrices.append(J)
             if symbolic is None:
                 symbolic = klu.analyze(J)
-            numeric = klu.factor(J, symbolic=symbolic)
-            dx = klu.solve(numeric, -F)
+            if not recovery:
+                numeric = klu.factor(J, symbolic=symbolic)
+                dx = klu.solve(numeric, -F)
+            else:
+                try:
+                    numeric = klu.factor(J, symbolic=symbolic)
+                    dx = klu.solve(numeric, -F)
+                    if not np.all(np.isfinite(dx)):
+                        raise NumericalHealthError(
+                            "Newton update contains non-finite values", what="solve"
+                        )
+                except ReproError as exc:
+                    try:
+                        dx, _num, report = run_ladder(
+                            klu, J, -F,
+                            symbolic=symbolic,
+                            make_variant=make_variant,
+                            tol=recovery_tol,
+                            label=f"t={t_next:g}",
+                        )
+                        recovery_events.append(
+                            {"t": t_next, "newton_iter": it, "trigger": type(exc).__name__,
+                             **report.to_dict()}
+                        )
+                    except RecoveryExhaustedError as exhausted:
+                        recovery_events.append(
+                            {"t": t_next, "newton_iter": it,
+                             "trigger": type(exc).__name__, "ok": False,
+                             "attempts": [a.to_dict() for a in exhausted.attempts]}
+                        )
+                        failure = exhausted
+                        break
             # SPICE-style step limiting keeps the diode exponentials in
             # Newton's basin of attraction.
             big = float(np.max(np.abs(dx), initial=0.0))
@@ -129,6 +186,19 @@ def run_transient(
                 ok = True
                 iters.append(it)
                 break
+        if failure is not None:
+            # Reject the step: roll back and retry at half the step.
+            rejected += 1
+            metrics.incr("resilience.transient.rejected")
+            x = x_prev.copy()
+            if step_dt * 0.5 < dt_min:
+                raise RecoveryExhaustedError(
+                    f"transient step at t={t_next:g} failed and dt reached "
+                    f"dt_min={dt_min:g}",
+                    attempts=failure.attempts,
+                ) from failure
+            step_dt_next = step_dt * 0.5
+            continue
         if not ok:
             converged = False
             iters.append(max_newton)
@@ -140,6 +210,7 @@ def run_transient(
         t = t_next
         times.append(t)
         states.append(x.copy())
+        step_dt_next = dt
 
     return TransientResult(
         times=np.asarray(times),
@@ -147,6 +218,8 @@ def run_transient(
         matrices=matrices,
         newton_iters=iters,
         converged=converged,
+        rejected_steps=rejected,
+        recovery_events=recovery_events,
     )
 
 

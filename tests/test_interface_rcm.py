@@ -62,7 +62,7 @@ class TestDirectSolver:
         s = DirectSolver("klu").numeric_factorization(A)
         xt = s.solve_transpose(b)
         assert np.max(np.abs(A.to_dense().T @ xt - b)) < 1e-8
-        xr = s.solve_refined(A, b)
+        xr, _hist = s.solve_refined(A, b)
         assert solve_residual(A, xr, b) < 1e-13
 
     def test_multi_rhs(self):
