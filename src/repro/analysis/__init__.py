@@ -24,13 +24,31 @@ machinery:
   :func:`repro.contracts.domains` annotations on the solver's public
   functions, and flags cross-space mixups (block-local indices applied
   to global arrays, double permutation application, mismatched
-  ``compose`` chains).
+  ``compose`` chains);
+* :mod:`repro.analysis.effects` — interprocedural effect-and-aliasing
+  analyzer that infers each kernel function's real side effects
+  (in-place parameter mutation, module-global state, task emission) and
+  checks them against the declared contracts: ``SimTask`` read/write
+  sets (E1), :func:`repro.contracts.effects` purity declarations (E2),
+  process-safety for a real worker-pool backend (E3), same-level
+  write-set disjointness including symbolic audits of the compiled
+  :mod:`repro.sparse.schedule` plans (E4), and numpy in-place misuse
+  (E5);
+* :mod:`repro.analysis.baseline` — fingerprinted finding baselines so
+  ``repro analyze <checker> --baseline FILE`` fails only on *new*
+  findings (the CI regression gate).
 
-All four are exposed as ``python -m repro analyze
-{hazards,conservation,lint,domains}`` (``--format json`` for machine
-consumption) and run in CI.
+All checkers are exposed as ``python -m repro analyze
+{hazards,conservation,lint,domains,effects}`` (``--format json`` for
+machine consumption) and run in CI.
 """
 
+from .baseline import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from .conservation import ConservationReport, check_conservation, check_schedule
 from .domains import (
     Domain,
@@ -39,6 +57,17 @@ from .domains import (
     check_domains_source,
     check_domains_tree,
     parse_domain,
+)
+from .effects import (
+    EffectFinding,
+    FunctionEffects,
+    audit_refactor_schedule,
+    audit_triangular_schedule,
+    check_effects_paths,
+    check_effects_source,
+    check_effects_tree,
+    collect_effect_summaries,
+    summary_for,
 )
 from .hazards import Hazard, HazardReport, check_hazards, happens_before
 from .lint import LintFinding, lint_paths, lint_source, lint_tree
@@ -61,4 +90,17 @@ __all__ = [
     "check_domains_source",
     "check_domains_paths",
     "check_domains_tree",
+    "EffectFinding",
+    "FunctionEffects",
+    "check_effects_source",
+    "check_effects_paths",
+    "check_effects_tree",
+    "collect_effect_summaries",
+    "summary_for",
+    "audit_triangular_schedule",
+    "audit_refactor_schedule",
+    "finding_fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
 ]

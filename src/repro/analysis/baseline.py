@@ -1,0 +1,117 @@
+"""Fingerprinted finding baselines for ``repro analyze`` subcommands.
+
+A baseline file freezes the currently-known findings of a checker so CI
+can gate on *regressions* — new findings fail the build, legacy ones are
+reported as suppressed.  Fingerprints deliberately exclude line numbers:
+editing an unrelated part of a file must not invalidate the baseline, so
+a finding is identified by ``(checker, path, code, message)``.  Messages
+that embed line numbers (the effect checker's "emitted at line N") keep
+them — moving an emission site is a real change worth re-reviewing.
+
+File format (JSON, committed next to the code it blesses)::
+
+    {"version": 1,
+     "findings": [{"checker": "effects", "fingerprint": "ab12...",
+                   "path": "core/numeric.py", "code": "E1",
+                   "message": "..."}]}
+
+The ``path``/``code``/``message`` fields are informational — matching
+uses only ``fingerprint``.  :func:`apply_baseline` splits findings into
+``(new, suppressed)``; the CLI exits non-zero only on ``new``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "finding_fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+
+def finding_fingerprint(checker: str, finding: Dict) -> str:
+    """Stable fingerprint of one finding dict (line numbers excluded).
+
+    ``finding`` is the ``dataclasses.asdict`` form the CLI emits:
+    file-checker findings carry ``path`` + ``rule``/``code`` +
+    ``message``; run-checker entries (hazards/conservation) carry
+    ``matrix``/``threads``/``kind`` + ``message``.
+    """
+    code = finding.get("code") or finding.get("rule") or finding.get("kind") or ""
+    parts = (
+        checker,
+        str(finding.get("path", finding.get("matrix", ""))),
+        str(finding.get("threads", "")),
+        str(code),
+        str(finding.get("message", "")),
+    )
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Load the fingerprint set from a baseline file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            "baseline %r: expected a JSON object with version %d"
+            % (path, BASELINE_VERSION))
+    fps = set()
+    for entry in doc.get("findings", []):
+        fp = entry.get("fingerprint")
+        if not isinstance(fp, str):
+            raise ValueError("baseline %r: finding without a fingerprint" % path)
+        fps.add(fp)
+    return fps
+
+
+def apply_baseline(
+    checker: str,
+    findings: Sequence[Dict],
+    suppressed_fps: Iterable[str],
+) -> Tuple[List[Dict], List[Dict]]:
+    """Split findings into ``(new, suppressed)`` against a baseline.
+
+    Each returned dict gains a ``fingerprint`` key so the JSON artifact
+    can be turned into an updated baseline by hand if needed.
+    """
+    fps = set(suppressed_fps)
+    new: List[Dict] = []
+    suppressed: List[Dict] = []
+    for f in findings:
+        f = dict(f)
+        f["fingerprint"] = finding_fingerprint(checker, f)
+        (suppressed if f["fingerprint"] in fps else new).append(f)
+    return new, suppressed
+
+
+def write_baseline(path: str, checker: str, findings: Sequence[Dict]) -> int:
+    """Write a baseline blessing the given findings; returns the count."""
+    entries = []
+    seen: Set[str] = set()
+    for f in findings:
+        fp = finding_fingerprint(checker, f)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append({
+            "checker": checker,
+            "fingerprint": fp,
+            "path": str(f.get("path", f.get("matrix", ""))),
+            "code": str(f.get("code") or f.get("rule") or f.get("kind") or ""),
+            "message": str(f.get("message", "")),
+        })
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

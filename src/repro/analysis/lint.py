@@ -25,6 +25,14 @@ that counted work is never silently dropped.  Four rules:
   (``default_rng(time.time())``).  Kernels that need randomness must
   take a ``numpy.random.Generator`` parameter — type annotations
   referencing ``np.random.Generator`` are explicitly allowed.
+* **R6** — no mutable module-level state (``dict``/``list``/``set``
+  literals or bare constructor calls, including class-level caches) in
+  the kernel packages plus ``parallel/``.  Shared mutable state is the
+  static backstop for the effect checker's E3: a worker-pool backend
+  forks or pickles kernels, so a module cache silently diverges across
+  processes.  A definition that is genuinely intended (a registry
+  populated at import time, say) carries a trailing
+  ``# effects: global-ok`` pin — the same pin the effect checker honors.
 
 Findings are reported as ``path:line CODE message``; the CLI exits
 nonzero when any are found, which is what CI gates on.
@@ -33,19 +41,25 @@ nonzero when any are found, which is what CI gates on.
 from __future__ import annotations
 
 import ast
+import io
 import os
+import re
+import tokenize
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set
 
 __all__ = [
     "LintFinding", "lint_source", "lint_paths", "lint_tree",
-    "KERNEL_DIRS", "DETERMINISTIC_DIRS",
+    "KERNEL_DIRS", "DETERMINISTIC_DIRS", "R6_DIRS",
 ]
 
 KERNEL_DIRS = ("core", "solvers", "sparse")
 # R5 (determinism) additionally covers the ordering/graph kernels whose
 # output must be reproducible run to run.
 DETERMINISTIC_DIRS = KERNEL_DIRS + ("ordering", "graph")
+# R6 (no mutable module state) additionally covers parallel/ — the
+# scheduler machinery ships to worker processes with the kernels.
+R6_DIRS = DETERMINISTIC_DIRS + ("parallel",)
 _WALL_CLOCKS = {"time", "perf_counter", "monotonic", "process_time", "thread_time", "clock"}
 _COUNTERS = {"sparse_flops", "dense_flops", "dfs_steps", "mem_words", "columns"}
 _MUTABLE_CALLS = {"list", "dict", "set"}
@@ -80,6 +94,11 @@ def _is_kernel_module(relpath: str) -> bool:
 def _is_deterministic_module(relpath: str) -> bool:
     parts = relpath.replace(os.sep, "/").split("/")
     return any(p in parts[:-1] for p in DETERMINISTIC_DIRS)
+
+
+def _is_r6_module(relpath: str) -> bool:
+    parts = relpath.replace(os.sep, "/").split("/")
+    return any(p in parts[:-1] for p in R6_DIRS)
 
 
 def _check_wall_clocks(tree: ast.AST, path: str, out: List[LintFinding]) -> None:
@@ -267,6 +286,73 @@ def _check_nondeterminism(tree: ast.AST, path: str, out: List[LintFinding]) -> N
                 ))
 
 
+_GLOBAL_OK_RE = re.compile(r"#\s*effects:\s*global-ok\b")
+# Constructors whose bare module-level call creates shared mutable state.
+_R6_CONSTRUCTORS = {
+    "dict", "list", "set", "defaultdict", "OrderedDict", "deque",
+    "Counter", "bytearray",
+}
+
+
+def _global_ok_lines(source: str) -> Set[int]:
+    """Lines carrying a ``# effects: global-ok`` pin (real comments)."""
+    lines: Set[int] = set()
+    try:
+        toks = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in toks:
+            if tok.type == tokenize.COMMENT and _GLOBAL_OK_RE.search(tok.string):
+                lines.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return lines
+
+
+def _r6_is_mutable(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                          ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _R6_CONSTRUCTORS
+    )
+
+
+def _check_module_state(
+    tree: ast.AST, source: str, path: str, out: List[LintFinding]
+) -> None:
+    ok_lines = _global_ok_lines(source)
+    scopes = [("module", tree.body)]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            scopes.append((f"class '{node.name}'", node.body))
+    for where, body in scopes:
+        for stmt in body:
+            targets: List[ast.expr] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _r6_is_mutable(value) or stmt.lineno in ok_lines:
+                continue
+            for t in targets:
+                if not isinstance(t, ast.Name):
+                    continue
+                if t.id == "__all__" or (
+                    t.id.startswith("__") and t.id.endswith("__")
+                ):
+                    continue
+                out.append(LintFinding(
+                    path, stmt.lineno, "R6",
+                    f"mutable {where}-level state '{t.id}' in a kernel "
+                    "package — process-unsafe shared state; pass it "
+                    "explicitly or pin the line '# effects: global-ok'",
+                ))
+
+
 def lint_source(source: str, relpath: str = "<string>") -> List[LintFinding]:
     """Lint one module's source.  ``relpath`` (relative to the package
     root, e.g. ``core/numeric.py``) decides whether the kernel-only
@@ -282,6 +368,8 @@ def lint_source(source: str, relpath: str = "<string>") -> List[LintFinding]:
         _check_ledger_flow(tree, relpath, out)
     if _is_deterministic_module(relpath):
         _check_nondeterminism(tree, relpath, out)
+    if _is_r6_module(relpath):
+        _check_module_state(tree, source, relpath, out)
     _check_bare_except(tree, relpath, out)
     _check_mutable_defaults(tree, relpath, out)
     out.sort(key=lambda f: (f.path, f.line, f.rule))

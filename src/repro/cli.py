@@ -10,12 +10,18 @@ Small utilities a downstream user reaches for first:
   chosen solver, print residual, |L+U| and modelled times.
 * ``suite`` — list the built-in Table I / Table II suite; ``--emit``
   writes a suite matrix to a MatrixMarket file.
-* ``analyze hazards|conservation|lint|domains`` — the verification
-  layer: happens-before race detection on the emitted task DAG,
-  ledger/schedule conservation checks, the repo's AST lint, and the
+* ``analyze hazards|conservation|lint|domains|effects`` — the
+  verification layer: happens-before race detection on the emitted task
+  DAG, ledger/schedule conservation checks, the repo's AST lint, the
   index-domain checker that tracks permutation spaces through the
-  solver.  All subcommands accept ``--format json`` for machine
-  consumption and exit nonzero on findings (the CI gate).
+  solver, and the interprocedural effect checker that verifies declared
+  task read/write sets and process-safety (``--plans`` additionally
+  audits compiled gather/scatter schedules for same-level write
+  disjointness).  All subcommands accept ``--format json`` for machine
+  consumption and exit nonzero on findings; ``--baseline FILE``
+  suppresses fingerprinted legacy findings so only regressions fail
+  (the CI gate), ``--write-baseline FILE`` freezes the current
+  findings.
 * ``bench`` — wall-clock microbenchmarks (factor/refactor/solve/reach
   plus the Xyce refactorization sequence), written to
   ``BENCH_wallclock.json``; ``--check`` gates speedup ratios against
@@ -132,85 +138,144 @@ def _analysis_matrices(args):
         yield name, _load(name)
 
 
+def _plan_audit_findings(args):
+    """``analyze effects --plans``: symbolic disjointness audits of the
+    compiled triangular/refactor schedules for the selected matrices."""
+    from .analysis import audit_refactor_schedule, audit_triangular_schedule
+    from .solvers.gp import ensure_refactor_schedule, gp_factor
+    from .sparse.schedule import compile_triangular_schedule
+
+    findings = []
+    for name, A in _analysis_matrices(args):
+        res = gp_factor(A)
+        findings.extend(audit_triangular_schedule(
+            compile_triangular_schedule(res.L, "lower"), label=f"{name}:L"))
+        findings.extend(audit_triangular_schedule(
+            compile_triangular_schedule(res.U, "upper"), label=f"{name}:U"))
+        findings.extend(audit_refactor_schedule(
+            ensure_refactor_schedule(res, A), label=f"{name}:refactor"))
+    return findings
+
+
 def _cmd_analyze(args) -> int:
     import dataclasses
     import json
 
     from .analysis import (
+        apply_baseline,
         check_conservation,
         check_domains_paths,
         check_domains_tree,
+        check_effects_paths,
+        check_effects_tree,
         check_hazards,
         check_schedule,
         lint_tree,
+        load_baseline,
+        write_baseline,
     )
 
     as_json = args.format == "json"
+    base_fps = load_baseline(args.baseline) if args.baseline else set()
 
-    if args.checker in ("lint", "domains"):
+    if args.checker in ("lint", "domains", "effects"):
         if args.checker == "lint":
             findings = lint_tree()
-        elif args.path:
-            findings = check_domains_paths(args.path)
+        elif args.checker == "domains":
+            findings = check_domains_paths(args.path) if args.path \
+                else check_domains_tree()
         else:
-            findings = check_domains_tree()
+            findings = check_effects_paths(args.path) if args.path \
+                else check_effects_tree()
+            if args.plans:
+                findings = list(findings) + _plan_audit_findings(args)
+        docs = [dataclasses.asdict(f) for f in findings]
+        new, suppressed = apply_baseline(args.checker, docs, base_fps)
+        if args.write_baseline:
+            n = write_baseline(args.write_baseline, args.checker, docs)
+            print(f"wrote baseline {args.write_baseline} ({n} fingerprint(s))",
+                  file=sys.stderr)
         if as_json:
             print(json.dumps({
                 "checker": args.checker,
-                "ok": not findings,
-                "findings": [dataclasses.asdict(f) for f in findings],
+                "ok": not new,
+                "findings": new,
+                "suppressed": suppressed,
             }, indent=2))
         else:
-            for f in findings:
-                print(f)
-            print(f"{args.checker}: {len(findings)} finding(s)")
-        return 1 if findings else 0
+            for d in new:
+                code = d.get("code") or d.get("rule") or ""
+                print(f"{d['path']}:{d['line']} {code} {d['message']}")
+            tail = f", {len(suppressed)} suppressed" if args.baseline else ""
+            print(f"{args.checker}: {len(new)} finding(s){tail}")
+        return 1 if new else 0
 
     failures = 0
     configs = []
+    all_docs = []
     for name, A in _analysis_matrices(args):
         for p in args.threads:
             solver = Basker(n_threads=p, pipeline_columns=args.pipeline)
             num = solver.factor(A)
             if args.checker == "hazards":
                 rep = check_hazards(num.tasks)
+                docs = [
+                    {"matrix": name, "threads": p, "kind": h.kind,
+                     "message": h.message}
+                    for h in rep.hazards
+                ]
+                new, suppressed = apply_baseline(args.checker, docs, base_fps)
+                all_docs.extend(docs)
                 if as_json:
                     configs.append({
                         "matrix": name, "threads": p,
                         "tasks": len(num.tasks),
                         "pairs_checked": rep.n_pairs_checked,
-                        "ok": rep.ok,
-                        "findings": [
-                            {"kind": h.kind, "message": h.message}
-                            for h in rep.hazards
-                        ],
+                        "ok": not new,
+                        "findings": new,
+                        "suppressed": suppressed,
                     })
                 else:
-                    status = "OK" if rep.ok else f"{len(rep.hazards)} HAZARD(S)"
+                    status = "OK" if not new else f"{len(new)} HAZARD(S)"
+                    if suppressed:
+                        status += f" (+{len(suppressed)} suppressed)"
                     print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks, "
                           f"{rep.n_pairs_checked:6d} pairs: {status}")
-                    for h in rep.hazards:
-                        print(f"    [{h.kind}] {h.message}")
-                failures += not rep.ok
+                    for d in new:
+                        print(f"    [{d['kind']}] {d['message']}")
+                failures += bool(new)
             else:
                 sched = num.schedule(SANDY_BRIDGE)
                 rep1 = check_conservation(num.tasks, num.ledger, num.overhead_ledger)
                 rep2 = check_schedule(num.tasks, sched)
-                ok = rep1.ok and rep2.ok
-                all_findings = list(rep1.findings) + list(rep2.findings)
+                docs = [
+                    {"matrix": name, "threads": p, "kind": "conservation",
+                     "message": str(f)}
+                    for f in list(rep1.findings) + list(rep2.findings)
+                ]
+                new, suppressed = apply_baseline(args.checker, docs, base_fps)
+                all_docs.extend(docs)
                 if as_json:
                     configs.append({
                         "matrix": name, "threads": p,
                         "tasks": len(num.tasks),
-                        "ok": ok,
-                        "findings": [str(f) for f in all_findings],
+                        "ok": not new,
+                        "findings": new,
+                        "suppressed": suppressed,
                     })
                 else:
+                    status = "OK" if not new else f"{len(new)} FINDING(S)"
+                    if suppressed:
+                        status += f" (+{len(suppressed)} suppressed)"
                     print(f"{name:16s} p={p:<3d} {len(num.tasks):5d} tasks: "
-                          f"{'OK' if ok else f'{len(all_findings)} FINDING(S)'}")
-                    for f in all_findings:
-                        print(f"    {f}")
-                failures += not ok
+                          f"{status}")
+                    for d in new:
+                        print(f"    {d['message']}")
+                failures += bool(new)
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, args.checker, all_docs)
+        print(f"wrote baseline {args.write_baseline} ({n} fingerprint(s))",
+              file=sys.stderr)
     if as_json:
         print(json.dumps({
             "checker": args.checker,
@@ -464,8 +529,11 @@ def main(argv=None) -> int:
     p.add_argument("--output", help="output path for --emit")
     p.set_defaults(fn=_cmd_suite)
 
-    p = sub.add_parser("analyze", help="race/conservation/lint/domains verification")
-    p.add_argument("checker", choices=["hazards", "conservation", "lint", "domains"])
+    p = sub.add_parser("analyze",
+                       help="race/conservation/lint/domains/effects verification")
+    p.add_argument("checker",
+                   choices=["hazards", "conservation", "lint", "domains",
+                            "effects"])
     p.add_argument("--matrix", action="append",
                    help="suite name or .mtx path (repeatable; default: whole suite)")
     p.add_argument("--threads", type=int, nargs="+", default=[1, 4, 16],
@@ -475,8 +543,16 @@ def main(argv=None) -> int:
     p.add_argument("--format", choices=["human", "json"], default="human",
                    help="output format (default: human)")
     p.add_argument("--path", action="append",
-                   help="domains only: check these file(s) against the package "
-                        "contracts instead of the whole tree (repeatable)")
+                   help="domains/effects only: check these file(s) against the "
+                        "package contracts instead of the whole tree (repeatable)")
+    p.add_argument("--plans", action="store_true",
+                   help="effects only: also audit compiled triangular/refactor "
+                        "schedules for same-level write disjointness (E4)")
+    p.add_argument("--baseline",
+                   help="suppress findings fingerprinted in this baseline JSON; "
+                        "exit nonzero only on new findings")
+    p.add_argument("--write-baseline",
+                   help="write the current findings as a baseline JSON")
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("trace", help="traced solve: span tree + Perfetto/JSONL export")

@@ -35,7 +35,7 @@ kernel packages can import it without touching ``repro.analysis``.
 
 from __future__ import annotations
 
-__all__ = ["domains"]
+__all__ = ["domains", "effects"]
 
 
 def domains(**declarations: str):
@@ -54,6 +54,38 @@ def domains(**declarations: str):
 
     def deco(fn):
         fn.__domains__ = dict(declarations)
+        return fn
+
+    return deco
+
+
+def effects(pure: bool = False, mutates: tuple = ()):
+    """Declare a function's side-effect contract for
+    :mod:`repro.analysis.effects`.
+
+    Usage::
+
+        @effects(pure=True)          # mutates nothing caller-visible
+        def invert(p): ...
+
+        @effects(mutates=("ledger",))   # mutates exactly these params
+        def gp_factor(A, ledger=None): ...
+
+    ``pure=True`` is shorthand for an empty ``mutates`` set.  The
+    analyzer (finding class E2) verifies every inferred in-place
+    mutation of a parameter — direct stores, mutator methods, ``out=``
+    targets, and mutations reached transitively through calls — is
+    listed in ``mutates``.  Both arguments must be literals (a bool and
+    a tuple of parameter-name strings); anything else is reported as a
+    malformed declaration (E0).
+
+    Like :func:`domains` this is a runtime no-op: it records the
+    declaration on the function object (``fn.__effects__``) and in the
+    AST, where the analyzer reads it.
+    """
+
+    def deco(fn):
+        fn.__effects__ = {"pure": bool(pure), "mutates": tuple(mutates)}
         return fn
 
     return deco

@@ -20,10 +20,14 @@ side.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+# effects: blocks fine_lu=fineLU row_perm=rowperm
+# effects: emitter builder
 
 from ..contracts import domains
 from ..errors import SingularMatrixError, StructureError
@@ -46,6 +50,23 @@ from .structure import BaskerSymbolic
 from .symbolic import DEFAULT_ND_THRESHOLD, analyze as symbolic_analyze
 
 __all__ = ["Basker", "BaskerNumeric"]
+
+
+def _factor_fine_block(b_idx: int, splits, B: CSC, pivot_tol: float,
+                       static_perturb: float):
+    """One fine-BTF block's Gilbert–Peierls factorization.
+
+    Module-level (not a closure) so the payload shipped to
+    :func:`~repro.parallel.threads.parallel_map` stays picklable for a
+    process backend — the effect checker's E3 gate.
+    """
+    lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
+    blk = B.submatrix(lo, hi, lo, hi)
+    led = CostLedger()
+    lu = gp_factor(
+        blk, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led
+    )
+    return b_idx, lo, hi, lu, led
 
 
 @dataclass
@@ -203,18 +224,12 @@ class Basker:
             # Fine-BTF blocks: embarrassingly parallel Gilbert–Peierls.
             if symbolic.fine_plan is not None:
                 plan = symbolic.fine_plan
-
-                def _factor_fine(b_idx: int):
-                    lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
-                    blk = B.submatrix(lo, hi, lo, hi)
-                    led = CostLedger()
-                    lu = gp_factor(
-                        blk, pivot_tol=self.pivot_tol, static_perturb=self.static_perturb, ledger=led
-                    )
-                    return b_idx, lo, hi, lu, led
-
                 results = parallel_map(
-                    _factor_fine,
+                    functools.partial(
+                        _factor_fine_block, splits=splits, B=B,
+                        pivot_tol=self.pivot_tol,
+                        static_perturb=self.static_perturb,
+                    ),
                     list(plan.block_ids),
                     n_threads=self.n_threads if self.real_threads else 1,
                 )
@@ -233,7 +248,7 @@ class Basker:
                         ("fine", b_idx), led, deps=[], thread=thread,
                         working_set=12.0 * (lu.L.nnz + lu.U.nnz) + 8.0 * (hi - lo),
                         reads=[("fineA", b_idx)],
-                        writes=[("fineLU", b_idx)],
+                        writes=[("fineLU", b_idx), ("rowperm", "fine", b_idx)],
                     )
 
             # Fine-ND blocks: Algorithm 4.

@@ -37,7 +37,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..contracts import domains
+# effects: blocks A=A Lb=L|LU Ub=U|LU
+# effects: emitter builder em
+
+from ..contracts import domains, effects
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..parallel.ledger import CostLedger
 from ..parallel.sim import SimTask
@@ -233,6 +236,7 @@ class _PassEmitter:
 
 @domains(A_ki="matrix[local:block]", U_ii="matrix[local:block]",
          returns="matrix[local:block]")
+@effects(mutates=("ledger",))
 def lower_offdiag_solve(A_ki: CSC, U_ii: CSC, ledger: CostLedger) -> CSC:
     """Solve ``X @ U_ii = A_ki`` for the lower off-diagonal block.
 
@@ -297,6 +301,7 @@ def lower_offdiag_solve(A_ki: CSC, U_ii: CSC, ledger: CostLedger) -> CSC:
 
 @domains(L_ii="matrix[local:block]", A_ij="matrix[local:block]",
          returns="matrix[local:block]")
+@effects(mutates=("ws", "ledger"))
 def upper_offdiag_solve(
     L_ii: CSC, A_ij: CSC, ws: ReachWorkspace, ledger: CostLedger
 ) -> CSC:
@@ -348,6 +353,7 @@ def upper_offdiag_solve(
 
 @domains(L_ms="matrix[local:block]", U_sj="matrix[local:block]",
          returns="matrix[local:block]")
+@effects(mutates=("ledger",))
 def sparse_product(L_ms: CSC, U_sj: CSC, ledger: CostLedger) -> CSC:
     """Column-accumulated sparse product ``L_ms @ U_sj``.
 
@@ -393,6 +399,7 @@ def sparse_product(L_ms: CSC, U_sj: CSC, ledger: CostLedger) -> CSC:
 
 
 @domains(A_mj="matrix[local:block]", returns="matrix[local:block]")
+@effects(mutates=("ledger",))
 def subtract_products(A_mj: CSC, prods: List[CSC], ledger: CostLedger) -> CSC:
     """``Â = A − Σ prods``: the combine phase of the reduction.
 
@@ -435,6 +442,7 @@ def subtract_products(A_mj: CSC, prods: List[CSC], ledger: CostLedger) -> CSC:
 
 
 @domains(A_mj="matrix[local:block]", returns="matrix[local:block]")
+@effects(mutates=("ledger",))
 def block_reduce(
     A_mj: CSC,
     contribs: List[Tuple[CSC, CSC]],

@@ -25,6 +25,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+# effects: blocks x=x
+
 from ..parallel.ledger import CostLedger
 from ..parallel.machine import MachineModel
 from ..parallel.sim import Schedule, SimTask, simulate
@@ -97,6 +99,7 @@ def _solve_with_levels(
 
     tasks: List[SimTask] = []
     prev_chunk_of = np.full(n, -1, dtype=np.int64)  # row -> producing task id
+    task_keys: List[Tuple[int, int]] = []  # task id -> (level, chunk)
     make_tasks = machine is not None
 
     for lv, rows in enumerate(tl.levels):
@@ -132,16 +135,24 @@ def _solve_with_levels(
                     x[i] = acc / diag
             if make_tasks:
                 tid = len(tasks)
+                deps = sorted(dep_tasks)
+                # Declared effect sets: this chunk finalizes its own x
+                # rows and reads exactly the chunks it synchronizes
+                # with — the hazard checker then proves the sparsified
+                # point-to-point edges sufficient.
                 tasks.append(
                     SimTask(
                         tid=tid,
                         ledger=led,
-                        deps=sorted(dep_tasks),
+                        deps=deps,
                         thread=ci % n_threads,
-                        p2p_syncs=len(dep_tasks),
+                        p2p_syncs=len(deps),
                         label=f"lv{lv}/c{ci}",
+                        reads=[("x",) + task_keys[t] for t in deps],
+                        writes=[("x", lv, ci)],
                     )
                 )
+                task_keys.append((lv, ci))
                 prev_chunk_of[chunk] = tid
 
     sched = simulate(tasks, machine, n_threads) if make_tasks else None

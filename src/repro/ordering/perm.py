@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, effects
 
 __all__ = ["invert", "compose", "is_permutation", "identity", "apply_to_vector", "random_permutation"]
 
@@ -32,6 +32,7 @@ def identity(n: int) -> np.ndarray:
 
 
 @domains(p="perm[A->B]", returns="perm[B->A]")
+@effects(pure=True)
 def invert(p: np.ndarray) -> np.ndarray:
     """Inverse permutation: ``invert(p)[p[i]] == i``.
 
@@ -50,6 +51,7 @@ def invert(p: np.ndarray) -> np.ndarray:
 
 
 @domains(p="perm[A->B]", q="perm[B->C]", returns="perm[A->C]")
+@effects(pure=True)
 def compose(p: np.ndarray, q: np.ndarray) -> np.ndarray:
     """The permutation equivalent to applying ``p`` first, then ``q``.
 
@@ -70,6 +72,7 @@ def compose(p: np.ndarray, q: np.ndarray) -> np.ndarray:
 
 
 @domains(p="perm[A->B]")
+@effects(pure=True)
 def is_permutation(p) -> bool:
     """True if ``p`` is a permutation of ``0..len(p)-1``.
 
@@ -92,6 +95,7 @@ def is_permutation(p) -> bool:
 
 
 @domains(p="perm[A->B]", x="vec[A]", returns="vec[B]")
+@effects(pure=True)
 def apply_to_vector(p: np.ndarray, x: np.ndarray) -> np.ndarray:
     """``y[i] = x[p[i]]``."""
     return np.asarray(x)[np.asarray(p, dtype=np.int64)]

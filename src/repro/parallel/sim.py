@@ -69,6 +69,11 @@ class Schedule:
     busy: List[float]
     sync_seconds: float
     compute_seconds: float
+    # The simulated tasks themselves, so callers that only hold the
+    # schedule (e.g. the parallel solve, which returns ``(x, sched)``)
+    # can still run :func:`repro.analysis.hazards.check_hazards` on the
+    # declared read/write sets.
+    tasks: Optional[List[SimTask]] = None
 
     @property
     def sync_fraction(self) -> float:
@@ -338,4 +343,5 @@ def simulate(
         busy=busy,
         sync_seconds=total_sync,
         compute_seconds=total_compute,
+        tasks=list(tasks),
     )

@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, effects
 from ..errors import SingularMatrixError, StructureError
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..obs.tracer import get_tracer
@@ -89,6 +89,7 @@ def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
     return out
 
 
+@effects(mutates=("prior",))
 def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
     """The compiled refactor schedule for ``prior``'s pattern against
     ``A``'s pattern, compiling and caching it on ``prior`` if absent or
@@ -109,6 +110,7 @@ def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
 
 
 @domains(A="matrix[S]")
+@effects(mutates=("ledger", "prior"))
 def gp_refactor(
     A: CSC,
     prior: GPResult,
@@ -165,6 +167,7 @@ def gp_refactor(
 
 
 @domains(A="matrix[S]")
+@effects(mutates=("ledger",))
 def gp_refactor_reference(
     A: CSC,
     prior: GPResult,
@@ -234,6 +237,7 @@ def gp_refactor_reference(
 
 
 @domains(A="matrix[S]")
+@effects(mutates=("ledger",))
 def gp_factor(
     A: CSC,
     pivot_tol: float = GP_DEFAULT_PIVOT_TOL,

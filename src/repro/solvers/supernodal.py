@@ -50,6 +50,9 @@ from ..sparse.schedule import (
 )
 from .triangular import lu_solve_factors
 
+# effects: blocks F=F G=G
+# effects: emitter new_task
+
 __all__ = ["SupernodalSymbolic", "SupernodalNumeric", "SupernodalLU", "slu_mt", "SolverFailure"]
 
 
@@ -290,9 +293,19 @@ class SupernodalLU:
         anorm = max(A.max_abs(), 1.0)
         eps = self.perturb_scale * anorm
 
-        def new_task(ledger, deps, ws):
+        def new_task(ledger, deps, ws, reads=(), writes=()):
             tid = len(tasks)
-            tasks.append(SimTask(tid=tid, ledger=ledger, deps=deps, thread=None, working_set=ws))
+            tasks.append(
+                SimTask(
+                    tid=tid,
+                    ledger=ledger,
+                    deps=deps,
+                    thread=None,
+                    working_set=ws,
+                    reads=reads,
+                    writes=writes,
+                )
+            )
             return tid
 
         # Work quantum for splitting large dense tasks: real supernodal
@@ -334,7 +347,13 @@ class SupernodalLU:
             diag_led = CostLedger()
             diag_led.dense_flops += (w * w * w / 3.0 + w * w) * self.dense_cost_factor
             diag_led.columns += w
-            tid_diag = new_task(diag_led, list(upd_into[s]), ws_bytes)
+            tid_diag = new_task(
+                diag_led,
+                list(upd_into[s]),
+                ws_bytes,
+                reads=[("F", s), ("G", s)],
+                writes=[("F", s)],
+            )
             total.add(diag_led)
 
             if nb == 0:
@@ -356,9 +375,22 @@ class SupernodalLU:
             panel_led = CostLedger()
             panel_led.dense_flops += panel_flops / npanel
             panel_led.sparse_flops += self.pivot_overhead * nb * w / npanel
-            panel_tids = [
-                new_task(panel_led.copy(), [tid_diag], ws_bytes) for _ in range(npanel)
-            ]
+            # Panel chunks carve disjoint row ranges of F[s][w:]/G[s];
+            # they all read the factored diagonal block, which gets the
+            # reserved chunk id ``npanel`` (never a sibling's id), so
+            # the chunk keys prove panels race-free among themselves
+            # while still conflicting with whole-block F[s] accesses.
+            panel_tids = []
+            for pk in range(npanel):
+                panel_tids.append(
+                    new_task(
+                        panel_led.copy(),
+                        [tid_diag],
+                        ws_bytes,
+                        reads=[("F", s, "c", npanel)],
+                        writes=[("F", s, "c", pk), ("G", s, "c", pk)],
+                    )
+                )
             total.add(panel_led.scaled(npanel))
             fac_tid[s] = tid_diag  # diag completion gates nothing extra
 
@@ -398,7 +430,20 @@ class SupernodalLU:
                 nchunk = chunked(share_flops)
                 piece = share.scaled(1.0 / nchunk)
                 for _ in range(nchunk):
-                    tid = new_task(piece.copy(), panel_tids, 8.0 * nb * w)
+                    # All update chunks into the same target accumulate
+                    # into the same F[t]/G[t] panels, so each chains on
+                    # the previous one (ordered accumulation, like the
+                    # real code's per-panel locks) — hence the pin.
+                    deps = list(panel_tids)
+                    if upd_into[t]:
+                        deps.append(upd_into[t][-1])
+                    tid = new_task(  # effects: ordered
+                        piece.copy(),
+                        deps,
+                        8.0 * nb * w,
+                        reads=[("F", s), ("G", s)],
+                        writes=[("F", t), ("G", t)],
+                    )
                     upd_into[t].append(tid)
             total.add(upd_led)
 

@@ -1,0 +1,18 @@
+"""Seeded violation: E1 — the emitted task's declared write set misses
+a block the emission region mutates.
+
+The region writes both ``x`` and ``y`` slices, but the ``SimTask``
+declares only the ``("x", lo)`` write, so a real shared-memory backend
+would race on ``y``.  The checker must report E1 (and only E1).
+"""
+# effects: blocks x=x y=y
+
+from repro.parallel.sim import SimTask
+
+
+def emit_chunk(tasks, led, x, y, lo, hi):
+    x[lo:hi] = 0.0
+    y[lo:hi] = 1.0
+    tasks.append(
+        SimTask(tid=len(tasks), ledger=led, writes=[("x", lo)])
+    )

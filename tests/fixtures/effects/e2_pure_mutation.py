@@ -1,0 +1,18 @@
+"""Seeded violation: E2 — a function declared pure mutates a parameter.
+
+``normalize`` carries ``@effects(pure=True)`` but stores into ``x``
+through a slice (and the helper shows the interprocedural case: the
+declared-pure wrapper mutates via a callee).  The checker must report
+E2 (and only E2).
+"""
+from repro.contracts import effects
+
+
+def _scale_in_place(v, alpha):
+    v[:] = v * alpha
+    return v
+
+
+@effects(pure=True)
+def normalize(x, norm):
+    return _scale_in_place(x, 1.0 / norm)

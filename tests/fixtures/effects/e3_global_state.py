@@ -1,0 +1,17 @@
+"""Seeded violation: E3 — process-unsafe state in a kernel module.
+
+``remember`` writes a mutable module-level dict (invisible to worker
+processes under a spawn/fork pool), and ``run`` ships a lambda through
+``parallel_map`` (unpicklable under spawn).  The checker must report
+E3 (and only E3).
+"""
+_CACHE = {}
+
+
+def remember(key, value):
+    _CACHE[key] = value
+    return _CACHE[key]
+
+
+def run(parallel_map, items):
+    return parallel_map(lambda it: it + 1, items)

@@ -1,0 +1,20 @@
+"""Seeded violation: E4 — same-level tasks with identical write sets.
+
+Every iteration of the chunk loop emits a task declaring the *same*
+write key ``("x", lv)`` — the key does not vary with the loop
+variable, so the sibling tasks' write sets are not disjoint.  The
+checker must report E4 (and only E4).
+"""
+# effects: blocks x=x
+
+from repro.parallel.sim import SimTask
+
+
+def emit_levels(tasks, led, x, levels, chunks):
+    for lv in range(levels):
+        for ci in range(chunks):
+            lo = ci * 4
+            x[lo : lo + 4] = 0.0
+            tasks.append(
+                SimTask(tid=len(tasks), ledger=led, writes=[("x", lv)])
+            )

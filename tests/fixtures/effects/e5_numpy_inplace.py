@@ -1,0 +1,13 @@
+"""Seeded violation: E5 — numpy in-place misuse.
+
+``np.dot(A, B, out=A)`` aliases the output buffer with an input that
+the kernel still reads while writing — numpy documents the result as
+undefined for BLAS-backed ops.  The checker must report E5 (and only
+E5).
+"""
+import numpy as np
+
+
+def accumulate(A, B):
+    np.dot(A, B, out=A)
+    return A

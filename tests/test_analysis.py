@@ -439,6 +439,33 @@ class TestLint:
         assert lint_source(src, "matrices/mesh.py") == []
         assert lint_source(src, "cli.py") == []
 
+    def test_r6_mutable_module_state(self):
+        out = lint_source("_CACHE = {}\n", "core/numeric.py")
+        assert [f.rule for f in out] == ["R6"]
+        assert "_CACHE" in out[0].message
+
+    def test_r6_constructor_calls_and_class_state(self):
+        assert [f.rule for f in lint_source("SEEN = set()\n", "sparse/csc.py")] == ["R6"]
+        src = "class K:\n    registry = []\n"
+        out = lint_source(src, "parallel/sim.py")
+        assert [f.rule for f in out] == ["R6"]
+        assert "class" in out[0].message
+
+    def test_r6_global_ok_pin_suppresses(self):
+        src = "_CACHE = {}  # effects: global-ok\n"
+        assert lint_source(src, "core/numeric.py") == []
+
+    def test_r6_immutable_and_dunder_ok(self):
+        src = (
+            "LIMIT = 64\n"
+            "NAMES = ('a', 'b')\n"
+            "__all__ = ['f']\n"
+        )
+        assert lint_source(src, "solvers/gp.py") == []
+
+    def test_r6_not_applied_outside_kernels(self):
+        assert lint_source("_CACHE = {}\n", "matrices/mesh.py") == []
+
 
 # ---------------------------------------------------------------------------
 # CLI
@@ -475,7 +502,9 @@ class TestAnalyzeCLI:
         rc = main(["analyze", "lint", "--format", "json"])
         payload = json.loads(capsys.readouterr().out)
         assert rc == 0
-        assert payload == {"checker": "lint", "ok": True, "findings": []}
+        assert payload == {
+            "checker": "lint", "ok": True, "findings": [], "suppressed": [],
+        }
 
     def test_analyze_hazards_json(self, capsys):
         import json
