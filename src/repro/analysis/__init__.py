@@ -34,13 +34,24 @@ machinery:
   write-set disjointness including symbolic audits of the compiled
   :mod:`repro.sparse.schedule` plans (E4), and numpy in-place misuse
   (E5);
+* :mod:`repro.analysis.shapes` — symbolic shape/bounds/dtype abstract
+  interpreter assigning every array a symbolic shape in a lattice of
+  named dimensions plus an index-range interval, checked against
+  :func:`repro.contracts.shapes` declarations: gather out-of-bounds
+  (S1), scatter/``reduceat`` precondition violations (S2), shape
+  conformance across elementwise ops (S3), index-width hazards (S4)
+  and declared-vs-inferred contract mismatches (S5), plus concrete
+  ``audit_schedule_buffers`` bounds audits of compiled
+  :mod:`repro.sparse.schedule` plans and a runtime differential
+  contract checker;
 * :mod:`repro.analysis.baseline` — fingerprinted finding baselines so
   ``repro analyze <checker> --baseline FILE`` fails only on *new*
   findings (the CI regression gate).
 
 All checkers are exposed as ``python -m repro analyze
-{hazards,conservation,lint,domains,effects}`` (``--format json`` for
-machine consumption) and run in CI.
+{hazards,conservation,lint,domains,effects,shapes}`` (``--format
+json`` for machine consumption), combined under ``python -m repro
+analyze all``, and run in CI.
 """
 
 from .baseline import (
@@ -48,6 +59,7 @@ from .baseline import (
     finding_fingerprint,
     load_baseline,
     write_baseline,
+    write_baseline_many,
 )
 from .conservation import ConservationReport, check_conservation, check_schedule
 from .domains import (
@@ -71,6 +83,17 @@ from .effects import (
 )
 from .hazards import Hazard, HazardReport, check_hazards, happens_before
 from .lint import LintFinding, lint_paths, lint_source, lint_tree
+from .shapes import (
+    ShapeContractError,
+    ShapeFinding,
+    audit_schedule_buffers,
+    check_call_contract,
+    check_shapes_paths,
+    check_shapes_source,
+    check_shapes_tree,
+    collect_shape_contracts,
+    contract_checked,
+)
 
 __all__ = [
     "Hazard",
@@ -99,8 +122,18 @@ __all__ = [
     "summary_for",
     "audit_triangular_schedule",
     "audit_refactor_schedule",
+    "ShapeContractError",
+    "ShapeFinding",
+    "check_shapes_source",
+    "check_shapes_paths",
+    "check_shapes_tree",
+    "collect_shape_contracts",
+    "audit_schedule_buffers",
+    "check_call_contract",
+    "contract_checked",
     "finding_fingerprint",
     "load_baseline",
     "apply_baseline",
     "write_baseline",
+    "write_baseline_many",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "load_baseline",
     "apply_baseline",
     "write_baseline",
+    "write_baseline_many",
     "BASELINE_VERSION",
 ]
 
@@ -94,10 +95,10 @@ def apply_baseline(
     return new, suppressed
 
 
-def write_baseline(path: str, checker: str, findings: Sequence[Dict]) -> int:
-    """Write a baseline blessing the given findings; returns the count."""
+def _baseline_entries(
+    checker: str, findings: Sequence[Dict], seen: Set[str]
+) -> List[Dict]:
     entries = []
-    seen: Set[str] = set()
     for f in findings:
         fp = finding_fingerprint(checker, f)
         if fp in seen:
@@ -110,6 +111,25 @@ def write_baseline(path: str, checker: str, findings: Sequence[Dict]) -> int:
             "code": str(f.get("code") or f.get("rule") or f.get("kind") or ""),
             "message": str(f.get("message", "")),
         })
+    return entries
+
+
+def write_baseline(path: str, checker: str, findings: Sequence[Dict]) -> int:
+    """Write a baseline blessing the given findings; returns the count."""
+    return write_baseline_many(path, {checker: findings})
+
+
+def write_baseline_many(path: str, groups: Dict[str, Sequence[Dict]]) -> int:
+    """Write one baseline blessing several checkers' findings at once
+    (the ``repro analyze all`` form); returns the fingerprint count.
+
+    Fingerprints are namespaced by checker, so a combined baseline is
+    also valid for each individual ``repro analyze <checker>`` run.
+    """
+    entries: List[Dict] = []
+    seen: Set[str] = set()
+    for checker in sorted(groups):
+        entries.extend(_baseline_entries(checker, groups[checker], seen))
     doc = {"version": BASELINE_VERSION, "findings": entries}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -10,12 +10,14 @@ Small utilities a downstream user reaches for first:
   chosen solver, print residual, |L+U| and modelled times.
 * ``suite`` — list the built-in Table I / Table II suite; ``--emit``
   writes a suite matrix to a MatrixMarket file.
-* ``analyze hazards|conservation|lint|domains|effects`` — the
-  verification layer: happens-before race detection on the emitted task
-  DAG, ledger/schedule conservation checks, the repo's AST lint, the
-  index-domain checker that tracks permutation spaces through the
-  solver, and the interprocedural effect checker that verifies declared
-  task read/write sets and process-safety (``--plans`` additionally
+* ``analyze hazards|conservation|lint|domains|effects|shapes|all`` —
+  the verification layer: happens-before race detection on the emitted
+  task DAG, ledger/schedule conservation checks, the repo's AST lint,
+  the index-domain checker that tracks permutation spaces through the
+  solver, the interprocedural effect checker that verifies declared
+  task read/write sets and process-safety, and the symbolic
+  shape/bounds/dtype checker over the vectorized kernels; ``all`` runs
+  every checker in one pass with a unified report (``--plans`` additionally
   audits compiled gather/scatter schedules for same-level write
   disjointness).  All subcommands accept ``--format json`` for machine
   consumption and exit nonzero on findings; ``--baseline FILE``
@@ -157,20 +159,143 @@ def _plan_audit_findings(args):
     return findings
 
 
-def _cmd_analyze(args) -> int:
+def _shape_plan_findings(args):
+    """``analyze shapes --plans``: concrete buffer-bounds audits of the
+    compiled triangular/refactor schedules for the selected matrices."""
+    from .analysis import audit_schedule_buffers
+    from .solvers.gp import ensure_refactor_schedule, gp_factor
+    from .sparse.schedule import compile_triangular_schedule
+
+    findings = []
+    for name, A in _analysis_matrices(args):
+        res = gp_factor(A)
+        findings.extend(audit_schedule_buffers(
+            compile_triangular_schedule(res.L, "lower"), label=f"{name}:L"))
+        findings.extend(audit_schedule_buffers(
+            compile_triangular_schedule(res.U, "upper"), label=f"{name}:U"))
+        findings.extend(audit_schedule_buffers(
+            ensure_refactor_schedule(res, A), label=f"{name}:refactor"))
+    return findings
+
+
+def _tree_findings(checker: str, args):
+    """Finding dicts of one file-tree checker (lint/domains/effects/shapes)."""
     import dataclasses
+
+    from .analysis import (
+        check_domains_paths,
+        check_domains_tree,
+        check_effects_paths,
+        check_effects_tree,
+        check_shapes_paths,
+        check_shapes_tree,
+        lint_tree,
+    )
+
+    if checker == "lint":
+        findings = lint_tree()
+    elif checker == "domains":
+        findings = check_domains_paths(args.path) if args.path \
+            else check_domains_tree()
+    elif checker == "effects":
+        findings = check_effects_paths(args.path) if args.path \
+            else check_effects_tree()
+        if args.plans:
+            findings = list(findings) + _plan_audit_findings(args)
+    else:  # shapes
+        findings = check_shapes_paths(args.path) if args.path \
+            else check_shapes_tree()
+        if args.plans:
+            findings = list(findings) + _shape_plan_findings(args)
+    return [dataclasses.asdict(f) for f in findings]
+
+
+def _analyze_all(args, base_fps) -> int:
+    """``analyze all``: every checker in one pass, one report, one exit
+    code.  File-tree checkers run over the whole tree; hazards and
+    conservation share one factorization per (matrix, threads) pair."""
     import json
 
     from .analysis import (
         apply_baseline,
         check_conservation,
-        check_domains_paths,
-        check_domains_tree,
-        check_effects_paths,
-        check_effects_tree,
         check_hazards,
         check_schedule,
-        lint_tree,
+        write_baseline_many,
+    )
+
+    as_json = args.format == "json"
+    sections = {}
+    all_docs = {}
+    for checker in ("lint", "domains", "effects", "shapes"):
+        docs = _tree_findings(checker, args)
+        new, suppressed = apply_baseline(checker, docs, base_fps)
+        sections[checker] = {"ok": not new, "findings": new,
+                             "suppressed": suppressed}
+        all_docs[checker] = docs
+
+    hz_docs, cons_docs, configs = [], [], []
+    for name, A in _analysis_matrices(args):
+        for p in args.threads:
+            solver = Basker(n_threads=p, pipeline_columns=args.pipeline)
+            num = solver.factor(A)
+            rep = check_hazards(num.tasks)
+            hz_docs.extend(
+                {"matrix": name, "threads": p, "kind": h.kind,
+                 "message": h.message}
+                for h in rep.hazards
+            )
+            sched = num.schedule(SANDY_BRIDGE)
+            rep1 = check_conservation(num.tasks, num.ledger, num.overhead_ledger)
+            rep2 = check_schedule(num.tasks, sched)
+            cons_docs.extend(
+                {"matrix": name, "threads": p, "kind": "conservation",
+                 "message": str(f)}
+                for f in list(rep1.findings) + list(rep2.findings)
+            )
+            configs.append({"matrix": name, "threads": p,
+                            "tasks": len(num.tasks)})
+    for checker, docs in (("hazards", hz_docs), ("conservation", cons_docs)):
+        new, suppressed = apply_baseline(checker, docs, base_fps)
+        sections[checker] = {"ok": not new, "findings": new,
+                             "suppressed": suppressed}
+        all_docs[checker] = docs
+
+    if args.write_baseline:
+        n = write_baseline_many(args.write_baseline, all_docs)
+        print(f"wrote baseline {args.write_baseline} ({n} fingerprint(s))",
+              file=sys.stderr)
+    ok = all(sec["ok"] for sec in sections.values())
+    if as_json:
+        print(json.dumps({
+            "checker": "all",
+            "ok": ok,
+            "checkers": sections,
+            "configs": configs,
+        }, indent=2))
+    else:
+        for checker, sec in sections.items():
+            tail = f", {len(sec['suppressed'])} suppressed" if args.baseline else ""
+            print(f"{checker}: {len(sec['findings'])} finding(s){tail}")
+            for d in sec["findings"]:
+                code = d.get("code") or d.get("rule") or d.get("kind") or ""
+                where = d.get("path", d.get("matrix", ""))
+                line = d.get("line")
+                loc = f"{where}:{line}" if line is not None else str(where)
+                print(f"    {loc} {code} {d['message']}")
+        print(f"analyze all: {'OK' if ok else 'FAILED'} "
+              f"({len(configs)} simulated configuration(s))")
+    return 0 if ok else 1
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .analysis import (
+        apply_baseline,
+        check_conservation,
+        check_hazards,
+        check_schedule,
         load_baseline,
         write_baseline,
     )
@@ -178,18 +303,11 @@ def _cmd_analyze(args) -> int:
     as_json = args.format == "json"
     base_fps = load_baseline(args.baseline) if args.baseline else set()
 
-    if args.checker in ("lint", "domains", "effects"):
-        if args.checker == "lint":
-            findings = lint_tree()
-        elif args.checker == "domains":
-            findings = check_domains_paths(args.path) if args.path \
-                else check_domains_tree()
-        else:
-            findings = check_effects_paths(args.path) if args.path \
-                else check_effects_tree()
-            if args.plans:
-                findings = list(findings) + _plan_audit_findings(args)
-        docs = [dataclasses.asdict(f) for f in findings]
+    if args.checker == "all":
+        return _analyze_all(args, base_fps)
+
+    if args.checker in ("lint", "domains", "effects", "shapes"):
+        docs = _tree_findings(args.checker, args)
         new, suppressed = apply_baseline(args.checker, docs, base_fps)
         if args.write_baseline:
             n = write_baseline(args.write_baseline, args.checker, docs)
@@ -530,10 +648,11 @@ def main(argv=None) -> int:
     p.set_defaults(fn=_cmd_suite)
 
     p = sub.add_parser("analyze",
-                       help="race/conservation/lint/domains/effects verification")
+                       help="race/conservation/lint/domains/effects/shapes "
+                            "verification")
     p.add_argument("checker",
                    choices=["hazards", "conservation", "lint", "domains",
-                            "effects"])
+                            "effects", "shapes", "all"])
     p.add_argument("--matrix", action="append",
                    help="suite name or .mtx path (repeatable; default: whole suite)")
     p.add_argument("--threads", type=int, nargs="+", default=[1, 4, 16],
@@ -543,11 +662,13 @@ def main(argv=None) -> int:
     p.add_argument("--format", choices=["human", "json"], default="human",
                    help="output format (default: human)")
     p.add_argument("--path", action="append",
-                   help="domains/effects only: check these file(s) against the "
-                        "package contracts instead of the whole tree (repeatable)")
+                   help="domains/effects/shapes only: check these file(s) "
+                        "against the package contracts instead of the whole "
+                        "tree (repeatable)")
     p.add_argument("--plans", action="store_true",
-                   help="effects only: also audit compiled triangular/refactor "
-                        "schedules for same-level write disjointness (E4)")
+                   help="effects/shapes only: also audit compiled triangular/"
+                        "refactor schedules (E4 write disjointness, S1/S2 "
+                        "buffer bounds)")
     p.add_argument("--baseline",
                    help="suppress findings fingerprinted in this baseline JSON; "
                         "exit nonzero only on new findings")

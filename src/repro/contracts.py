@@ -35,7 +35,7 @@ kernel packages can import it without touching ``repro.analysis``.
 
 from __future__ import annotations
 
-__all__ = ["domains", "effects"]
+__all__ = ["domains", "effects", "shapes"]
 
 
 def domains(**declarations: str):
@@ -86,6 +86,43 @@ def effects(pure: bool = False, mutates: tuple = ()):
 
     def deco(fn):
         fn.__effects__ = {"pure": bool(pure), "mutates": tuple(mutates)}
+        return fn
+
+    return deco
+
+
+def shapes(**declarations: str):
+    """Declare symbolic shapes/bounds/dtypes for
+    :mod:`repro.analysis.shapes`.
+
+    Usage::
+
+        @shapes(A="csc[n,n]", b="f8[n]", returns="f8[n]")
+        def lu_solve(A, b): ...
+
+        @shapes(indices="i8[k] sorted unique < n", starts="i8[m+1] sorted")
+        def segment(indices, starts): ...
+
+    Each value is a shape expression: a dtype tag (``f8``, ``i8``,
+    ``i4``, ``b1``, ``any``) with a bracketed dimension list, the special
+    forms ``csc[r,c]`` (a :class:`~repro.sparse.csc.CSC` with ``r`` rows
+    and ``c`` columns), ``dim`` (a scalar that *names* a dimension) and
+    ``scalar``/``any``, optionally followed by the qualifiers ``sorted``
+    (nondecreasing values), ``unique`` (pairwise-distinct values) and
+    ``< D`` (integer values in ``[0, D)`` for a dimension expression
+    ``D``).  Dimension expressions are integer arithmetic (``+ - *``)
+    over literals, named dimensions and the builtin dimension functions
+    ``len(p)``, ``nnz(p)``, ``rows(p)``, ``cols(p)`` of another
+    parameter ``p``.  Names are unified per call site by the static
+    checker and per call by the runtime contract checker.
+
+    Like :func:`domains` this is a runtime no-op: it records the
+    declaration on the function object (``fn.__shapes__``) and in the
+    AST, where the analyzer reads it.
+    """
+
+    def deco(fn):
+        fn.__shapes__ = dict(declarations)
         return fn
 
     return deco

@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..contracts import domains, effects
+from ..contracts import domains, effects, shapes
 from ..errors import SingularMatrixError, StructureError
 from ..graph.dfs import ReachWorkspace, topo_reach
 from ..obs.tracer import get_tracer
@@ -90,6 +90,7 @@ def _grow(arr: np.ndarray, needed: int) -> np.ndarray:
 
 
 @effects(mutates=("prior",))
+@shapes(A="csc[n,n]")
 def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
     """The compiled refactor schedule for ``prior``'s pattern against
     ``A``'s pattern, compiling and caching it on ``prior`` if absent or
@@ -111,6 +112,7 @@ def ensure_refactor_schedule(prior: GPResult, A: CSC) -> RefactorSchedule:
 
 @domains(A="matrix[S]")
 @effects(mutates=("ledger", "prior"))
+@shapes(A="csc[n,n]")
 def gp_refactor(
     A: CSC,
     prior: GPResult,
@@ -168,6 +170,7 @@ def gp_refactor(
 
 @domains(A="matrix[S]")
 @effects(mutates=("ledger",))
+@shapes(A="csc[n,n]")
 def gp_refactor_reference(
     A: CSC,
     prior: GPResult,
@@ -238,6 +241,7 @@ def gp_refactor_reference(
 
 @domains(A="matrix[S]")
 @effects(mutates=("ledger",))
+@shapes(A="csc[n,n]")
 def gp_factor(
     A: CSC,
     pivot_tol: float = GP_DEFAULT_PIVOT_TOL,

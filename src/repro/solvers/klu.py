@@ -21,7 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, shapes
 from ..obs.tracer import get_tracer
 from ..ordering.amd import amd_order
 from ..ordering.btf import BTFResult, btf
@@ -200,6 +200,7 @@ class KLU:
 
     # ------------------------------------------------------------------
     @domains(A="matrix[global]")
+    @shapes(A="csc[n,n]")
     def analyze(self, A: CSC) -> KLUSymbolic:
         """Pattern analysis: MWCM + BTF + per-block AMD."""
         n = A.n_rows
@@ -233,6 +234,7 @@ class KLU:
 
     # ------------------------------------------------------------------
     @domains(A="matrix[global]")
+    @shapes(A="csc[n,n]")
     def factor(self, A: CSC, symbolic: Optional[KLUSymbolic] = None) -> KLUNumeric:
         """Numeric factorization (with per-block partial pivoting)."""
         if symbolic is None:
@@ -292,6 +294,7 @@ class KLU:
 
     # ------------------------------------------------------------------
     @domains(A="matrix[global]")
+    @shapes(A="csc[n,n]")
     def refactor(self, A: CSC, numeric: KLUNumeric) -> KLUNumeric:
         """Factor a matrix with the same pattern, reusing the analysis.
 
@@ -304,6 +307,7 @@ class KLU:
 
     # ------------------------------------------------------------------
     @domains(A="matrix[global]")
+    @shapes(A="csc[n,n]")
     def refactor_fast(self, A: CSC, numeric: KLUNumeric) -> KLUNumeric:
         """``klu_refactor``: values-only update on fixed patterns/pivots.
 
@@ -510,6 +514,7 @@ class KLU:
 
     # ------------------------------------------------------------------
     @domains(b="vec[global]", returns="vec[global]")
+    @shapes(returns="f8[n]")
     def solve(self, numeric: KLUNumeric, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` by block back-substitution over the BTF."""
         b = np.asarray(b, dtype=np.float64)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, shapes
 from ..parallel.ledger import CostLedger
 from ..sparse.csc import CSC
 from ..sparse.ops import lower_solve, upper_solve
@@ -19,6 +19,7 @@ __all__ = ["lu_solve", "lu_solve_factors"]
 
 
 @domains(L="matrix[S]", U="matrix[S]", b_perm="vec[S]", returns="vec[S]")
+@shapes(L="csc[n,n]", U="csc[n,n]", b_perm="f8[n]", returns="f8[n]")
 def lu_solve_factors(
     L: CSC,
     U: CSC,
@@ -36,6 +37,7 @@ def lu_solve_factors(
 
 
 @domains(row_perm="perm[A->B]", col_perm="perm[A->C]", b="vec[A]")
+@shapes(L="csc[n,n]", U="csc[n,n]", returns="f8[n]")
 def lu_solve(
     L: CSC,
     U: CSC,

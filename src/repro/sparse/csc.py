@@ -16,7 +16,7 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, shapes
 from ..errors import StructureError
 
 __all__ = ["CSC"]
@@ -156,6 +156,7 @@ class CSC:
     def nnz(self) -> int:
         return int(self.indptr[-1])
 
+    @shapes(self="csc[r,c]", j="scalar < c")
     def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
         """Views of the (row-indices, values) of column ``j``."""
         lo, hi = self.indptr[j], self.indptr[j + 1]
@@ -185,9 +186,11 @@ class CSC:
     # ------------------------------------------------------------------
     # Structure manipulation
     # ------------------------------------------------------------------
+    @shapes(self="csc[r,c]", returns="csc[r,c]")
     def copy(self) -> "CSC":
         return CSC(self.n_rows, self.n_cols, self.indptr.copy(), self.indices.copy(), self.data.copy())
 
+    @shapes(self="csc[r,c]", returns="csc[r,c]")
     def sort_indices(self) -> "CSC":
         """Return a copy with row indices sorted within each column."""
         indptr = self.indptr
@@ -201,6 +204,7 @@ class CSC:
                 data[lo:hi] = data[lo:hi][order]
         return CSC(self.n_rows, self.n_cols, indptr.copy(), indices, data)
 
+    @shapes(self="csc[r,c]", returns="csc[r,c]")
     def drop_zeros(self, tol: float = 0.0) -> "CSC":
         """Return a copy without entries of magnitude <= ``tol``."""
         keep = np.abs(self.data) > tol
@@ -211,6 +215,7 @@ class CSC:
         np.cumsum(new_indptr, out=new_indptr)
         return CSC(self.n_rows, self.n_cols, new_indptr, self.indices[keep], self.data[keep])
 
+    @shapes(self="csc[r,c]", returns="csc[c,r]")
     def transpose(self) -> "CSC":
         """The transpose, also in CSC (equivalently, this matrix in CSR)."""
         n_rows, n_cols = self.n_rows, self.n_cols
@@ -224,6 +229,7 @@ class CSC:
         return CSC(n_cols, n_rows, indptr, col_of[order], self.data[order])
 
     @domains(row_perm="perm[A->B]", col_perm="perm[C->D]")
+    @shapes(self="csc[r,c]", returns="csc[r,c]")
     def permute(self, row_perm: np.ndarray | None = None, col_perm: np.ndarray | None = None) -> "CSC":
         """Return ``B`` with ``B[i, j] = A[row_perm[i], col_perm[j]]``.
 
@@ -289,6 +295,7 @@ class CSC:
         return CSC(r1 - r0, ncols, indptr, indices, data)
 
     @domains(rows="index[R]", cols="index[C]", returns="matrix[local:block]")
+    @shapes(self="csc[r,c]", rows="i8[p] unique < r", cols="i8[q] < c", returns="csc[p,q]")
     def extract(self, rows: np.ndarray, cols: np.ndarray) -> "CSC":
         """General (non-contiguous) submatrix ``A[np.ix_(rows, cols)]``."""
         rows = np.asarray(rows, dtype=np.int64)
@@ -313,12 +320,14 @@ class CSC:
     # ------------------------------------------------------------------
     # Numeric helpers
     # ------------------------------------------------------------------
+    @shapes(self="csc[r,c]", returns="f8[r,c]")
     def to_dense(self) -> np.ndarray:
         out = np.zeros((self.n_rows, self.n_cols), dtype=np.float64)
         col_of = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
         np.add.at(out, (self.indices, col_of), self.data)
         return out
 
+    @shapes(self="csc[r,c]", x="f8[c]", returns="f8[r]")
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """y = A @ x."""
         x = np.asarray(x, dtype=np.float64)
@@ -329,6 +338,7 @@ class CSC:
         np.add.at(y, self.indices, self.data * x[col_of])
         return y
 
+    @shapes(self="csc[r,c]", x="f8[r]", returns="f8[c]")
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """y = A.T @ x."""
         x = np.asarray(x, dtype=np.float64)
@@ -339,11 +349,13 @@ class CSC:
         np.add.at(y, col_of, self.data * x[self.indices])
         return y
 
+    @shapes(self="csc[r,c]", returns="csc[r,c]")
     def scale(self, alpha: float) -> "CSC":
         out = self.copy()
         out.data *= alpha
         return out
 
+    @shapes(self="csc[r,c]", other="csc[r,c]", returns="csc[r,c]")
     def add(self, other: "CSC") -> "CSC":
         """Entrywise sum (structural union)."""
         if self.shape != other.shape:
@@ -376,17 +388,51 @@ class CSC:
     # Invariants / dunder
     # ------------------------------------------------------------------
     def check(self) -> None:
-        """Raise AssertionError if any CSC invariant is violated."""
-        assert self.indptr.shape == (self.n_cols + 1,)
-        assert self.indptr[0] == 0
-        assert np.all(np.diff(self.indptr) >= 0)
-        assert self.indptr[-1] == self.indices.size == self.data.size
+        """Validate every structural invariant, raising
+        :class:`~repro.errors.StructureError` on the first violation.
+
+        Checked: ``indptr`` is int64 of shape ``(n_cols + 1,)``, starts
+        at 0, is nondecreasing and ends at ``nnz``; ``indices`` is int64
+        and aligned with float64 ``data``; row indices lie in
+        ``[0, n_rows)`` and are strictly increasing within each column.
+        All checks are vectorized (no per-column Python loop), so this
+        is cheap enough to run on every loader/verifier path.
+        """
+        if self.indptr.dtype != np.int64:
+            raise StructureError(f"indptr dtype is {self.indptr.dtype}, expected int64")
+        if self.indices.dtype != np.int64:
+            raise StructureError(f"indices dtype is {self.indices.dtype}, expected int64")
+        if self.data.dtype != np.float64:
+            raise StructureError(f"data dtype is {self.data.dtype}, expected float64")
+        if self.indptr.shape != (self.n_cols + 1,):
+            raise StructureError(
+                f"indptr has shape {self.indptr.shape}, expected ({self.n_cols + 1},)"
+            )
+        if self.indptr[0] != 0:
+            raise StructureError(f"indptr[0] is {int(self.indptr[0])}, expected 0")
+        widths = np.diff(self.indptr)
+        if widths.size and widths.min() < 0:
+            j = int(np.flatnonzero(widths < 0)[0])
+            raise StructureError(f"indptr decreases at column {j}")
+        if not (int(self.indptr[-1]) == self.indices.size == self.data.size):
+            raise StructureError(
+                f"indptr[-1]={int(self.indptr[-1])} but indices.size="
+                f"{self.indices.size}, data.size={self.data.size}"
+            )
         if self.indices.size:
-            assert self.indices.min() >= 0
-            assert self.indices.max() < self.n_rows
-        for j in range(self.n_cols):
-            rows = self.indices[self.indptr[j] : self.indptr[j + 1]]
-            assert np.all(np.diff(rows) > 0), f"column {j} not strictly sorted"
+            if self.indices.min() < 0 or self.indices.max() >= self.n_rows:
+                raise StructureError(
+                    f"row indices span [{int(self.indices.min())}, "
+                    f"{int(self.indices.max())}], expected [0, {self.n_rows})"
+                )
+            # Strictly increasing within each column: every adjacent pair
+            # must either grow or straddle a column boundary.
+            step = np.diff(self.indices)
+            col_of = np.repeat(np.arange(self.n_cols), widths)
+            bad = (step <= 0) & (col_of[1:] == col_of[:-1])
+            if np.any(bad):
+                j = int(col_of[int(np.flatnonzero(bad)[0])])
+                raise StructureError(f"column {j} rows not strictly increasing")
 
     def same_pattern(self, other: "CSC") -> bool:
         return (

@@ -77,7 +77,9 @@ def read_matrix_market(path_or_file: Union[str, Path, TextIO]) -> CSC:
             vals = np.concatenate([vals, sign * vals[off]])
         elif symmetry != "general":
             raise ValueError(f"unsupported symmetry {symmetry!r}")
-        return CSC.from_coo(rows, cols, vals, (n_rows, n_cols), sum_duplicates=False)
+        A = CSC.from_coo(rows, cols, vals, (n_rows, n_cols), sum_duplicates=False)
+        A.check()
+        return A
     finally:
         if should_close:
             f.close()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, shapes
 from ..errors import StructureError, ZeroPivotError
 from .csc import CSC
 from .schedule import triangular_schedule
@@ -35,6 +35,7 @@ __all__ = [
 
 
 @domains(L="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(L="csc[r,c]", b="f8[c]", returns="f8[c]")
 def lower_solve(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.ndarray:
     """Solve ``L x = b`` for dense ``b``, L lower triangular in CSC.
 
@@ -51,6 +52,7 @@ def lower_solve(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.ndarray:
 
 
 @domains(U="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(U="csc[r,c]", b="f8[c]", returns="f8[c]")
 def upper_solve(U: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``U x = b`` for dense ``b``, U upper triangular in CSC.
 
@@ -63,6 +65,7 @@ def upper_solve(U: CSC, b: np.ndarray) -> np.ndarray:
 
 
 @domains(L="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(L="csc[r,c]", b="f8[c]", returns="f8[c]")
 def lower_solve_reference(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.ndarray:
     """Reference per-column loop for :func:`lower_solve` (oracle)."""
     n = L.n_cols
@@ -90,6 +93,7 @@ def lower_solve_reference(L: CSC, b: np.ndarray, unit_diag: bool = True) -> np.n
 
 
 @domains(U="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(U="csc[r,c]", b="f8[c]", returns="f8[c]")
 def upper_solve_reference(U: CSC, b: np.ndarray) -> np.ndarray:
     """Reference per-column loop for :func:`upper_solve` (oracle)."""
     n = U.n_cols
@@ -109,6 +113,7 @@ def upper_solve_reference(U: CSC, b: np.ndarray) -> np.ndarray:
 
 
 @domains(L="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(L="csc[n,n]", b="f8[n]", returns="f8[n]")
 def unit_lower_solve_T(L: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``L.T x = b`` with unit-diagonal lower-triangular L (CSC).
 
@@ -128,6 +133,7 @@ def unit_lower_solve_T(L: CSC, b: np.ndarray) -> np.ndarray:
 
 
 @domains(U="matrix[S]", b="vec[S]", returns="vec[S]")
+@shapes(U="csc[n,n]", b="f8[n]", returns="f8[n]")
 def upper_solve_T(U: CSC, b: np.ndarray) -> np.ndarray:
     """Solve ``U.T x = b`` with upper-triangular U (CSC), forward sweep."""
     n = U.n_cols
@@ -143,6 +149,7 @@ def upper_solve_T(U: CSC, b: np.ndarray) -> np.ndarray:
     return x
 
 
+@shapes(A="csc[m,k]", B="csc[k,p]", returns="csc[m,p]")
 def matmat(A: CSC, B: CSC) -> CSC:
     """Sparse product ``A @ B`` using a dense accumulator per column."""
     if A.n_cols != B.n_rows:
@@ -180,6 +187,7 @@ def matmat(A: CSC, B: CSC) -> CSC:
     return CSC(A.n_rows, B.n_cols, indptr, indices, data)
 
 
+@shapes(A="csc[r,c]", j="scalar < cols(A)", work="f8[r]", mark="i8[r]")
 def scatter_column(
     A: CSC, j: int, work: np.ndarray, mark: np.ndarray, stamp: int, pattern: list
 ) -> None:
@@ -200,6 +208,8 @@ def scatter_column(
             work[i] += vals[t]
 
 
+@shapes(A="csc[r,c]", xrows="i8[k] < cols(A)", xvals="f8[k]",
+        work="f8[r]", mark="i8[r]")
 def spmv_accumulate(
     A: CSC,
     xrows: np.ndarray,

@@ -47,7 +47,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..contracts import domains
+from ..contracts import domains, shapes
 from ..errors import SingularMatrixError, StructureError, ZeroPivotError
 from ..obs.tracer import get_tracer
 from ..resilience.faults import active_plan as _fault_plan
@@ -72,6 +72,7 @@ class ScheduleCompileError(StructureError):
     paths, or input entries outside the factor pattern)."""
 
 
+@shapes(starts="i8[m]", counts="i8[m]")
 def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """``concatenate([arange(s, s + c) for s, c in zip(starts, counts)])``
     without a Python loop."""
@@ -82,6 +83,7 @@ def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.repeat(starts - cum0, counts) + np.arange(total, dtype=np.int64)
 
 
+@shapes(positions="i8[k]")
 def _segment(positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Sort scatter targets and mark segment boundaries for reduceat.
 
@@ -148,6 +150,7 @@ class TriangularSchedule:
         return M.n_rows == self.n and M.n_cols == self.n and M.nnz == self.nnz
 
     # ------------------------------------------------------------------
+    @shapes(M="csc[n,n]", b="f8[n]", returns="f8[n]")
     def solve(self, M: CSC, b: np.ndarray, unit_diag: bool = False) -> np.ndarray:
         """Replay the schedule: solve ``M x = b`` level by level."""
         n = self.n
@@ -188,6 +191,7 @@ class TriangularSchedule:
         return x
 
 
+@shapes(M="csc[n,n]")
 def compile_triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     """Compile the level schedule of a triangular CSC pattern.
 
@@ -271,6 +275,7 @@ def compile_triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     )
 
 
+@shapes(M="csc[n,n]")
 def triangular_schedule(M: CSC, kind: str) -> TriangularSchedule:
     """Compiled schedule for ``M``, cached on the matrix object.
 
@@ -395,6 +400,7 @@ class RefactorSchedule:
         )
 
     # ------------------------------------------------------------------
+    @shapes(a_data="f8[k]")
     def run(
         self,
         a_data: np.ndarray,
@@ -471,6 +477,7 @@ class RefactorSchedule:
 
 
 @domains(A="matrix[S]", row_perm="perm[A->B]")
+@shapes(L="csc[n,n]", U="csc[n,n]", A="csc[n,n]", row_perm="i8[n] unique < n")
 def compile_refactor_schedule(
     L: CSC,
     U: CSC,
@@ -780,6 +787,7 @@ class BlockedRefactorSchedule:
 
 
 @domains(row_perm="perm[A->B]", col_perm="perm[C->D]")
+@shapes(A="csc[r,c]")
 def permutation_gather(
     A: CSC,
     row_perm: Optional[np.ndarray] = None,
@@ -812,6 +820,7 @@ def permutation_gather(
     return indptr, newrow[gather], gather
 
 
+@shapes(indptr="i8[q] sorted", indices="i8[m]", splits="i8[s] sorted")
 def diagonal_block_gathers(
     indptr: np.ndarray, indices: np.ndarray, splits: np.ndarray
 ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:

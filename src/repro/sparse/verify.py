@@ -35,6 +35,8 @@ def factorization_residual(
     :meth:`CSC.permute`: the factorization claims
     ``A[row_perm][:, col_perm] == L @ U``.
     """
+    for M in (A, L, U):
+        M.check()
     PAQ = A.permute(row_perm, col_perm)
     LU = matmat(L, U)
     diff = PAQ.add(LU.scale(-1.0))

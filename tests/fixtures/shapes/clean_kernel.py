@@ -1,0 +1,35 @@
+"""Clean kernel: exercises every idiom the shape checker models —
+contract-bounded gathers, a sorted/unique scatter through ``reduceat``,
+``searchsorted``/``bincount`` shapes, interprocedural contract calls —
+without violating anything.  The analyzer must report nothing."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(x="f8[n]", idx="i8[k] < n", returns="f8[k]")
+def bounded_gather(x, idx):
+    return x[idx]
+
+
+@shapes(vals="f8[n]", returns="f8[n]")
+def segmented_accumulate(vals):
+    out = np.zeros(len(vals))
+    starts = np.arange(len(vals))
+    out[starts] -= np.add.reduceat(vals, starts)
+    return out
+
+
+@shapes(x="f8[n]", idx="i8[k] < n", returns="f8[k]")
+def calls_through_contract(x, idx):
+    order = np.argsort(idx, kind="stable")
+    return bounded_gather(x, idx[order])
+
+
+@shapes(x="f8[n]")
+def histogram(x):
+    pos = np.flatnonzero(x > 0.0)
+    counts = np.bincount(pos, minlength=len(x))
+    where = np.searchsorted(np.cumsum(counts), 3)
+    return counts, where

@@ -1,0 +1,13 @@
+"""S1 seeded violation: a gather whose index provably reaches the
+target's length.  ``np.arange(len(x) + 1)`` has maximum value
+``len(x)``, so ``x[idx]`` reads one past the end."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(x="f8[n]")
+def off_by_one_gather(x):
+    idx = np.arange(len(x) + 1)
+    return x[idx]

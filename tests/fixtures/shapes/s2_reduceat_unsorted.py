@@ -1,0 +1,12 @@
+"""S2 seeded violation: ``np.add.reduceat`` with segment starts that
+are provably not nondecreasing (a reversed ``arange``)."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(vals="f8[n]")
+def reversed_segments(vals):
+    starts = np.arange(4)[::-1]
+    return np.add.reduceat(vals, starts)

@@ -1,0 +1,16 @@
+"""S3 seeded violation: elementwise combination of arrays with provably
+different lengths — two distinct declared dimensions, and two unequal
+constants."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(x="f8[n]", y="f8[m]")
+def mixed_dimensions(x, y):
+    return x + y
+
+
+def mixed_constants():
+    return np.zeros(3) + np.ones(4)

@@ -1,0 +1,13 @@
+"""S4 seeded violation: int32 index arrays break the package-wide int64
+index discipline (allocation dtype and a narrowing cast)."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(idx="i8[n]")
+def narrowed_indices(idx):
+    small = idx.astype(np.int32)
+    slots = np.zeros(8, dtype=np.int32)
+    return small, slots

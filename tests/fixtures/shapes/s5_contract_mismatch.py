@@ -1,0 +1,11 @@
+"""S5 seeded violation: the returned array provably disagrees with the
+declared ``returns`` shape (``n + 1`` vs ``n``)."""
+
+import numpy as np
+
+from repro.contracts import shapes
+
+
+@shapes(b="f8[n]", returns="f8[n]")
+def grows_by_one(b):
+    return np.zeros(len(b) + 1)
