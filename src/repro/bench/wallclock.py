@@ -8,10 +8,13 @@ package exempt from lint rule R1 (no wall clocks in kernel packages).
 It times the four numeric phases on suite matrices and the Xyce
 transient sequence:
 
-* ``factor/<matrix>`` — Gilbert–Peierls factorization of the largest
-  BTF block (tracking only, no vectorized counterpart);
-* ``reach/<matrix>`` — a full symbolic reach sweep over that block
-  (tracking only);
+* ``factor/<matrix>`` — first-time Gilbert–Peierls factorization of
+  the largest BTF block (tracking; the default blocked kernel);
+* ``factor_blocked/<matrix>`` — the same factorization, scalar
+  reference loops (``gp_factor_reference``) vs the structure-aware
+  dense-blocked ``gp_factor``;
+* ``reach/<matrix>`` — a full symbolic reach sweep over that block:
+  numpy ``topo_reach`` reference vs the list-based ``ReachGraph``;
 * ``refactor/<matrix>`` — values-only refactorization: reference
   per-column loop (``gp_refactor_reference``) vs the level-scheduled
   vectorized replay (``gp_refactor``);
@@ -38,11 +41,17 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..graph.dfs import ReachWorkspace, topo_reach
+from ..graph.dfs import ReachGraph, ReachWorkspace, topo_reach
 from ..matrices import get_matrix
 from ..parallel.ledger import CostLedger
 from ..solvers import KLU
-from ..solvers.gp import GPResult, gp_factor, gp_refactor, gp_refactor_reference
+from ..solvers.gp import (
+    GPResult,
+    gp_factor,
+    gp_factor_reference,
+    gp_refactor,
+    gp_refactor_reference,
+)
 from ..sparse.csc import CSC
 from ..sparse.ops import (
     lower_solve,
@@ -58,8 +67,17 @@ QUICK_MATRICES = ["Xyce0*", "circuit_4"]
 SCHEMA_VERSION = 1
 
 # Hard floors on speedup ratios, written into the baseline and enforced
-# by the gate (prefix match on the case key).
-SPEEDUP_FLOORS = {"xyce_refactor_sequence": 5.0, "solve/": 3.0}
+# by the gate (prefix match on the case key).  The xyce floor dropped
+# from 5.0 when the *reference* loop sped up (vectorized
+# ``CSC.sort_indices`` cut its per-step permute/submatrix cost), which
+# compresses the ratio without any vectorized-path regression; quick
+# mode (20 matrices) also amortizes the one-time schedule compile less.
+SPEEDUP_FLOORS = {
+    "xyce_refactor_sequence": 4.0,
+    "solve/": 3.0,
+    "factor_blocked/": 1.5,
+    "reach/": 2.0,
+}
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -102,14 +120,33 @@ def _bench_matrix(name: str, repeats: int, rng: np.random.Generator) -> Dict[str
     n = blk.n_cols
     cases: Dict[str, dict] = {}
 
-    # factor: full Gilbert–Peierls on the block (tracking only).
+    # factor: full Gilbert–Peierls on the block (tracking; this is the
+    # blocked default path, detection included — the cold-factor cost).
     cases[f"factor/{name}"] = {
         "seconds": _best_of(lambda: gp_factor(blk), repeats),
         "n": n,
         "nnz": blk.nnz,
     }
 
-    # reach: symbolic sweep over the final L pattern (tracking only).
+    # factor_blocked: scalar reference loops vs the dense-blocked
+    # kernel, same matrix, same factors (parity is asserted in tests).
+    blocked = gp_factor(blk)
+    t_ref = _best_of(lambda: gp_factor_reference(blk), repeats)
+    t_vec = _best_of(lambda: gp_factor(blk), repeats)
+    plan = blocked.dense_plan
+    cases[f"factor_blocked/{name}"] = {
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec if t_vec > 0 else float("inf"),
+        "n": n,
+        "nnz": blk.nnz,
+        "switch": int(plan.switch) if plan is not None else n,
+        "tail_cols": int(plan.tail_cols) if plan is not None else 0,
+        "predicted_density": float(plan.density) if plan is not None else 0.0,
+    }
+
+    # reach: symbolic sweep over the final L pattern — numpy topo_reach
+    # reference vs the list-based ReachGraph (bit-identical results).
     L = fixed.L
     pinv = np.arange(n, dtype=np.int64)
 
@@ -120,7 +157,23 @@ def _bench_matrix(name: str, repeats: int, rng: np.random.Generator) -> Dict[str
             ws.next_stamp()
             topo_reach(L.indptr, L.indices, rows, pinv, ws)
 
-    cases[f"reach/{name}"] = {"seconds": _best_of(_reach_sweep, repeats), "n": n}
+    pinv_l = pinv.tolist()
+
+    def _reach_sweep_fast():
+        g = ReachGraph.from_csc(L)
+        for k in range(n):
+            rows = blk.indices[blk.indptr[k] : blk.indptr[k + 1]]
+            g.next_stamp()
+            g.reach(rows.tolist(), pinv_l)
+
+    t_ref = _best_of(_reach_sweep, repeats)
+    t_vec = _best_of(_reach_sweep_fast, repeats)
+    cases[f"reach/{name}"] = {
+        "reference_s": t_ref,
+        "vectorized_s": t_vec,
+        "speedup": t_ref / t_vec if t_vec > 0 else float("inf"),
+        "n": n,
+    }
 
     # refactor: reference loop vs vectorized schedule replay.
     blk2 = _perturbed(blk, rng)
@@ -299,6 +352,7 @@ def run_wallclock(
     speedups = {k: v["speedup"] for k, v in cases.items() if "speedup" in v}
     solve_sp = [v for k, v in speedups.items() if k.startswith("solve/")]
     refac_sp = [v for k, v in speedups.items() if k.startswith("refactor/")]
+    fblk_sp = [v for k, v in speedups.items() if k.startswith("factor_blocked/")]
     return {
         "schema": SCHEMA_VERSION,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -320,6 +374,7 @@ def run_wallclock(
             "xyce_refactor_speedup": cases["xyce_refactor_sequence"]["speedup"],
             "min_refactor_speedup": min(refac_sp) if refac_sp else None,
             "min_solve_speedup": min(solve_sp) if solve_sp else None,
+            "min_factor_blocked_speedup": min(fblk_sp) if fblk_sp else None,
         },
     }
 

@@ -600,7 +600,8 @@ def _cmd_bench(args) -> int:
     s = doc["summary"]
     print(f"xyce sequence speedup: {s['xyce_refactor_speedup']:.2f}x   "
           f"min refactor: {s['min_refactor_speedup']:.2f}x   "
-          f"min solve: {s['min_solve_speedup']:.2f}x")
+          f"min solve: {s['min_solve_speedup']:.2f}x   "
+          f"min factor_blocked: {s['min_factor_blocked_speedup']:.2f}x")
     save_json(doc, args.output)
     print(f"wrote {args.output}")
     if args.baseline_out:

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..contracts import domains
 from ..errors import SingularMatrixError, StructureError
-from ..obs.tracer import get_tracer
+from ..obs.tracer import NULL_TRACER, get_tracer, tracing
 from ..parallel.ledger import CostLedger
 from ..resilience.faults import fault_values as _fault_values
 from ..parallel.machine import MachineModel, SANDY_BRIDGE
@@ -63,9 +63,14 @@ def _factor_fine_block(b_idx: int, splits, B: CSC, pivot_tol: float,
     lo, hi = int(splits[b_idx]), int(splits[b_idx + 1])
     blk = B.submatrix(lo, hi, lo, hi)
     led = CostLedger()
-    lu = gp_factor(
-        blk, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led
-    )
+    # Span-free: workers only compute.  The main thread records one
+    # post-hoc numeric.gp.fine leaf per block carrying ``led``, so any
+    # inline span emission here would double-count under the ledger
+    # conservation check.
+    with tracing(NULL_TRACER):
+        lu = gp_factor(
+            blk, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led
+        )
     return b_idx, lo, hi, lu, led
 
 

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..contracts import domains, effects
 from ..graph.dfs import ReachWorkspace, topo_reach
+from ..obs.tracer import NULL_TRACER, tracing
 from ..parallel.ledger import CostLedger
 from ..parallel.sim import SimTask
 from ..sparse.blocks import BlockMatrix
@@ -596,7 +597,12 @@ def factor_nd_block(
             node_piv[i] = np.empty(0, dtype=np.int64)
             continue
         led = CostLedger()
-        lu = gp_factor(A[(i, i)], pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led)
+        # Span-free: the caller's numeric.gp.nd span carries this
+        # block's cost inside nd.ledger, so letting gp_factor emit its
+        # panel child span here would double-count it under the tree
+        # conservation check.
+        with tracing(NULL_TRACER):
+            lu = gp_factor(A[(i, i)], pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led)
         Lb[(i, i)], Ub[(i, i)] = lu.L, lu.U
         node_piv[i] = lu.row_perm
         total.add(led)
@@ -771,7 +777,10 @@ def factor_nd_block(
         if supernodal_separators and density > dense_threshold and n_j > 8:
             lu = dense_lu_factor(Ahat_jj, static_perturb=static_perturb, ledger=led2)
         else:
-            lu = gp_factor(Ahat_jj, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led2)
+            # Span-free for the same ledger-conservation reason as the
+            # leaf phase: nd.ledger is this block's inclusive leaf.
+            with tracing(NULL_TRACER):
+                lu = gp_factor(Ahat_jj, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=led2)
         Lb[(j, j)], Ub[(j, j)] = lu.L, lu.U
         node_piv[j] = lu.row_perm
         total.add(led2)

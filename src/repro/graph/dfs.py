@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["topo_reach", "ReachWorkspace"]
+__all__ = ["topo_reach", "ReachWorkspace", "ReachGraph"]
+
+# Shared sentinel for "row is not yet pivotal": no outgoing edges.
+_NO_EDGES: tuple = ()
 
 
 class ReachWorkspace:
@@ -111,3 +114,104 @@ def topo_reach(
                 xi[top] = v
                 depth -= 1
     return top, steps
+
+
+class ReachGraph:
+    """Incremental list-based adjacency for fast reach queries.
+
+    :func:`topo_reach` pays a numpy scalar-indexing penalty on every
+    edge (``int(Li[cur])`` boxes one element per step); over a full
+    factorization the reach DFS dominated the cold factor wall clock
+    (``reach/scircuit`` ~9x the numeric work, see BENCH_wallclock).
+    This class keeps the same graph as plain Python ``list`` columns —
+    column ``c`` lists the rows of L(:, c), pivot row first, exactly the
+    ``Li`` slice — and runs the identical stamped DFS over them at
+    C-list speed (~6x on the suite sweeps).
+
+    :meth:`reach` is a drop-in oracle match for :func:`topo_reach`: the
+    emitted topological order, the ``top`` split point and the ``steps``
+    edge count are **bit-identical** (same traversal, same edge order,
+    same tie-breaking), so the CostLedger discipline is unaffected.
+
+    The caller owns stamp advancement (``next_stamp`` per query) and
+    appends each L column as it is built (:meth:`append_column`), which
+    is how :func:`repro.solvers.gp.gp_factor` grows the graph during
+    factorization.
+    """
+
+    __slots__ = ("n", "cols", "xi", "mark", "stamp", "_sv", "_sa", "_sc")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.cols: list = []            # one Python list of rows per built column
+        self.xi: list = [0] * n         # reach output, filled top-down
+        self.mark: list = [-1] * n      # stamp marks
+        self.stamp = 0
+        self._sv: list = [0] * n        # DFS vertex stack
+        self._sa: list = [_NO_EDGES] * n  # DFS adjacency-list stack
+        self._sc: list = [0] * n        # DFS edge cursors
+
+    @classmethod
+    def from_csc(cls, L) -> "ReachGraph":
+        """Adjacency of a fully built L (one ``tolist`` per column)."""
+        g = cls(L.n_rows)
+        indptr, indices = L.indptr, L.indices
+        for c in range(L.n_cols):
+            g.cols.append(indices[indptr[c]: indptr[c + 1]].tolist())
+        return g
+
+    def next_stamp(self) -> int:
+        self.stamp += 1
+        return self.stamp
+
+    def append_column(self, rows: list) -> None:
+        """Register the rows of the next built L column (pivot first)."""
+        self.cols.append(rows)
+
+    def reach(self, brows, pinv) -> tuple[int, int]:
+        """Reach of ``brows`` (iterable of int) under ``pinv`` (list).
+
+        Returns ``(top, steps)``; the reach is ``self.xi[top:]`` in
+        topological order — same contract as :func:`topo_reach`.
+        ``pinv`` must be a Python list (``pinv[i] < 0`` = not pivotal).
+        """
+        mark, xi, cols = self.mark, self.xi, self.cols
+        sv, sa, sc = self._sv, self._sa, self._sc
+        stamp = self.stamp
+        top = self.n
+        steps = 0
+        for root in brows:
+            if mark[root] == stamp:
+                continue
+            mark[root] = stamp
+            c = pinv[root]
+            depth = 0
+            sv[0] = root
+            sa[0] = cols[c] if c >= 0 else _NO_EDGES
+            sc[0] = 0
+            while depth >= 0:
+                adj = sa[depth]
+                cur = sc[depth]
+                hi = len(adj)
+                descended = False
+                while cur < hi:
+                    w = adj[cur]
+                    cur += 1
+                    steps += 1
+                    if mark[w] != stamp:
+                        mark[w] = stamp
+                        sc[depth] = cur
+                        depth += 1
+                        sv[depth] = w
+                        cw = pinv[w]
+                        sa[depth] = cols[cw] if cw >= 0 else _NO_EDGES
+                        sc[depth] = 0
+                        descended = True
+                        break
+                if not descended:
+                    sc[depth] = cur
+                    # Post-order emit: v precedes every node it updates.
+                    top -= 1
+                    xi[top] = sv[depth]
+                    depth -= 1
+        return top, steps

@@ -74,26 +74,29 @@ def etree(B: CSC) -> np.ndarray:
     pattern.  Uses path compression via an ancestor array.
     """
     n = B.n_cols
-    parent = np.full(n, -1, dtype=np.int64)
-    ancestor = np.full(n, -1, dtype=np.int64)
+    # Plain Python lists: the ancestor walk is scalar-at-a-time, and
+    # list indexing beats numpy scalar indexing severalfold there.
+    parent = [-1] * n
+    ancestor = [-1] * n
+    indptr = B.indptr.tolist()
+    indices = B.indices.tolist()
     # Traverse B by rows of the upper triangle == columns of the lower.
     # For column j, every entry i < j in B[:, j] connects subtree of i
     # toward j.
     for j in range(n):
-        rows, _ = B.col(j)
-        for t in range(rows.size):
-            i = int(rows[t])
+        for t in range(indptr[j], indptr[j + 1]):
+            i = indices[t]
             if i >= j:
                 break
             # Walk from i to the root of its current subtree, compressing.
             while i != -1 and i < j:
-                nxt = int(ancestor[i])
+                nxt = ancestor[i]
                 ancestor[i] = j
                 if nxt == -1:
                     parent[i] = j
                     break
                 i = nxt
-    return parent
+    return np.array(parent, dtype=np.int64)
 
 
 def postorder(parent: np.ndarray) -> np.ndarray:
@@ -143,18 +146,22 @@ def symbolic_cholesky_counts(B: CSC, parent: np.ndarray) -> np.ndarray:
     node into its column.  Complexity O(|L|) — exact, not an estimate.
     """
     n = B.n_cols
-    counts = np.ones(n, dtype=np.int64)  # diagonal
-    mark = np.full(n, -1, dtype=np.int64)
+    # Python lists for the same reason as :func:`etree`: the subtree
+    # walk is scalar-at-a-time, where list indexing wins.
+    counts = [1] * n  # diagonal
+    mark = [-1] * n
+    par = parent.tolist()
     Bt = B.transpose()  # rows of B as columns of Bt
+    indptr = Bt.indptr.tolist()
+    indices = Bt.indices.tolist()
     for i in range(n):
         mark[i] = i
-        cols_in_row, _ = Bt.col(i)
-        for t in range(cols_in_row.size):
-            j = int(cols_in_row[t])
+        for t in range(indptr[i], indptr[i + 1]):
+            j = indices[t]
             if j >= i:
                 break
             while j != -1 and mark[j] != i and j < i:
                 mark[j] = i
                 counts[j] += 1
-                j = int(parent[j])
-    return counts
+                j = par[j]
+    return np.array(counts, dtype=np.int64)

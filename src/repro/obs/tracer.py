@@ -173,6 +173,14 @@ class Tracer:
             self.roots.append(sp)
         return sp
 
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span.
+
+        Used by kernels that open a costed child span to attach their
+        remaining own-work to the caller's span as overhead, keeping
+        :func:`check_ledger_tree` conservation exact."""
+        return self._stack[-1] if self._stack else None
+
 
 class _NullSpan:
     """Shared inert span: every method is a no-op returning self."""
@@ -207,6 +215,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()

@@ -58,6 +58,75 @@ def _spec_for(kind: str, site: str, warm: bool) -> FaultSpec:
     return FaultSpec(site=site, kind=kind, occurrence=occurrence)
 
 
+def _run_cell(
+    ds: DirectSolver,
+    A0: CSC,
+    x_true: np.ndarray,
+    name: str,
+    kind: str,
+    site: str,
+    spec: FaultSpec,
+    steps: int,
+    tol: float,
+) -> dict:
+    """Drive one (matrix, kind, site) cell through the armed plan."""
+    case = {
+        "matrix": name,
+        "kind": kind,
+        "site": site,
+        "classification": "recovered",
+        "steps": [],
+        "events": 0,
+    }
+    with FaultPlan([spec], label=f"{name}:{kind}@{site}") as plan:
+        for k in range(steps):
+            Ak = CSC(
+                A0.n_rows, A0.n_cols, A0.indptr, A0.indices,
+                A0.data * (1.0 + 0.03 * k),
+            )
+            # The sequence-level site is driven by the harness:
+            # the matrix itself changes between refactor steps.
+            Ak = fault_matrix("sequence.matrix", Ak)
+            bk = Ak.matvec(x_true)
+            step: dict = {"step": k}
+            try:
+                x, report = ds.solve_resilient(
+                    Ak, bk, tol=tol, label=f"{name}[{k}]"
+                )
+            except ReproError as exc:
+                step["outcome"] = "typed_error"
+                step["error_type"] = type(exc).__name__
+                case["classification"] = "typed_error"
+                case["steps"].append(step)
+                break
+            except Exception as exc:  # the finding we hunt for
+                step["outcome"] = "untyped_escape"
+                step["error_type"] = type(exc).__name__
+                step["error"] = str(exc)
+                case["classification"] = "untyped_escape"
+                case["steps"].append(step)
+                break
+            step["rung"] = report.succeeded
+            step["backward_error"] = report.backward_error
+            if not np.all(np.isfinite(x)):
+                step["outcome"] = "silent_nonfinite"
+                case["classification"] = "silent_nonfinite"
+                case["steps"].append(step)
+                break
+            berr = componentwise_backward_error(Ak, x, bk)
+            if not (berr <= tol):
+                step["outcome"] = "silent_wrong"
+                step["verified_backward_error"] = float(berr)
+                case["classification"] = "silent_wrong"
+                case["steps"].append(step)
+                break
+            step["outcome"] = "recovered"
+            case["steps"].append(step)
+        case["events"] = len(plan.events)
+        case["unfired"] = len(plan.unfired())
+    return case
+
+
 def run_chaos(
     names: Optional[Sequence[str]] = None,
     kinds: Optional[Sequence[str]] = None,
@@ -95,61 +164,26 @@ def run_chaos(
             spec = _spec_for(kind, site, warm)
             if not warm:
                 ds = DirectSolver(solver)
-            case = {
-                "matrix": name,
-                "kind": kind,
-                "site": site,
-                "classification": "recovered",
-                "steps": [],
-                "events": 0,
-            }
-            with FaultPlan([spec], label=f"{name}:{kind}") as plan:
-                for k in range(steps):
-                    Ak = CSC(
-                        A0.n_rows, A0.n_cols, A0.indptr, A0.indices,
-                        A0.data * (1.0 + 0.03 * k),
-                    )
-                    # The sequence-level site is driven by the harness:
-                    # the matrix itself changes between refactor steps.
-                    Ak = fault_matrix("sequence.matrix", Ak)
-                    bk = Ak.matvec(x_true)
-                    step: dict = {"step": k}
-                    try:
-                        x, report = ds.solve_resilient(
-                            Ak, bk, tol=tol, label=f"{name}[{k}]"
-                        )
-                    except ReproError as exc:
-                        step["outcome"] = "typed_error"
-                        step["error_type"] = type(exc).__name__
-                        case["classification"] = "typed_error"
-                        case["steps"].append(step)
-                        break
-                    except Exception as exc:  # the finding we hunt for
-                        step["outcome"] = "untyped_escape"
-                        step["error_type"] = type(exc).__name__
-                        step["error"] = str(exc)
-                        case["classification"] = "untyped_escape"
-                        case["steps"].append(step)
-                        break
-                    step["rung"] = report.succeeded
-                    step["backward_error"] = report.backward_error
-                    if not np.all(np.isfinite(x)):
-                        step["outcome"] = "silent_nonfinite"
-                        case["classification"] = "silent_nonfinite"
-                        case["steps"].append(step)
-                        break
-                    berr = componentwise_backward_error(Ak, x, bk)
-                    if not (berr <= tol):
-                        step["outcome"] = "silent_wrong"
-                        step["verified_backward_error"] = float(berr)
-                        case["classification"] = "silent_wrong"
-                        case["steps"].append(step)
-                        break
-                    step["outcome"] = "recovered"
-                    case["steps"].append(step)
-                case["events"] = len(plan.events)
-                case["unfired"] = len(plan.unfired())
-            cases.append(case)
+            cases.append(
+                _run_cell(ds, A0, x_true, name, kind, site, spec, steps, tol)
+            )
+        # Extra cells for the dense-panel gather of the blocked
+        # first-time factorization: cold-start so the very first
+        # numeric factorization runs under the armed plan (that is the
+        # only path through ``gp.panel``; warm sweeps replay values and
+        # never re-enter it).  The site fires only on matrices whose
+        # largest blocks detect a dense tail — elsewhere the cell
+        # records an unfired plan and trivially recovers.
+        for kind in kinds:
+            if kind not in ("perturb", "nan"):
+                continue
+            spec = _spec_for(kind, "gp.panel", warm=False)
+            cases.append(
+                _run_cell(
+                    DirectSolver(solver), A0, x_true,
+                    name, kind, "gp.panel", spec, steps, tol,
+                )
+            )
 
     summary: dict = {}
     for case in cases:

@@ -18,6 +18,7 @@ Sites and the fault kinds they accept:
 site                                  hook type  kinds
 ====================================  =========  ==========================
 ``gp.factor.values``                  values     perturb, nan
+``gp.panel``                          values     perturb, nan
 ``gp.refactor.values``                values     perturb, nan
 ``klu.refactor.values``               values     perturb, nan
 ``basker.refactor.values``            values     perturb, nan
@@ -72,6 +73,11 @@ KNOWN_SITES: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
     "gp.factor.values": (
         "values", ("perturb", "nan"),
         "input values entering a fresh Gilbert-Peierls factorization",
+    ),
+    "gp.panel": (
+        "values", ("perturb", "nan"),
+        "trailing-column values gathered into the dense panel of the "
+        "blocked gp_factor (fires only when a dense tail is detected)",
     ),
     "gp.refactor.values": (
         "values", ("perturb", "nan"),

@@ -27,10 +27,11 @@ import numpy as np
 
 from ..contracts import domains, effects, shapes
 from ..errors import SingularMatrixError, StructureError
-from ..graph.dfs import ReachWorkspace, topo_reach
+from ..graph.dfs import ReachGraph, ReachWorkspace, topo_reach
 from ..obs.tracer import get_tracer
 from ..parallel.ledger import CostLedger
 from ..resilience.faults import fault_values as _fault_values
+from ..sparse.blocking import DensePlan, detect_dense_tail
 from ..sparse.csc import CSC
 from ..sparse.schedule import (
     RefactorSchedule,
@@ -41,6 +42,7 @@ from ..sparse.schedule import (
 __all__ = [
     "GPResult",
     "gp_factor",
+    "gp_factor_reference",
     "gp_refactor",
     "gp_refactor_reference",
     "ensure_refactor_schedule",
@@ -70,6 +72,10 @@ class GPResult:
     # of :func:`gp_refactor`, so a sequence of same-pattern matrices
     # compiles once and replays vectorized thereafter.
     schedule: Optional[RefactorSchedule] = None
+    # Dense-tail blocking plan used (or detected) by :func:`gp_factor`;
+    # pattern-only, so callers holding a fixed pattern (KLU's per-block
+    # symbolic) can cache and resupply it across factorizations.
+    dense_plan: Optional[DensePlan] = None
 
     @property
     def n(self) -> int:
@@ -242,13 +248,19 @@ def gp_refactor_reference(
 @domains(A="matrix[S]")
 @effects(mutates=("ledger",))
 @shapes(A="csc[n,n]")
-def gp_factor(
+def gp_factor_reference(
     A: CSC,
     pivot_tol: float = GP_DEFAULT_PIVOT_TOL,
     static_perturb: float = 0.0,
     ledger: CostLedger | None = None,
 ) -> GPResult:
-    """Factor a square sparse matrix with Gilbert–Peierls LU.
+    """Reference per-column loop for :func:`gp_factor` (oracle).
+
+    The seed implementation: scalar reach + triangular solve + pivot
+    search per column.  :func:`gp_factor` must reproduce its pattern,
+    permutation and CostLedger bit-identically (values up to summation
+    order inside the dense tail); the parity tests in
+    ``tests/test_blocking.py`` enforce exactly that.
 
     Parameters
     ----------
@@ -429,3 +441,352 @@ def gp_factor(
     row_perm = np.empty(n, dtype=np.int64)
     row_perm[pinv] = np.arange(n, dtype=np.int64)
     return GPResult(Lfinal, Ufinal, row_perm, led)
+
+
+@domains(A="matrix[S]")
+@effects(mutates=("ledger",))
+@shapes(A="csc[n,n]")
+def gp_factor(
+    A: CSC,
+    pivot_tol: float = GP_DEFAULT_PIVOT_TOL,
+    static_perturb: float = 0.0,
+    ledger: CostLedger | None = None,
+    dense_plan: DensePlan | None = None,
+) -> GPResult:
+    """Factor a square sparse matrix with blocked Gilbert–Peierls LU.
+
+    Structure-aware dense blocking over :func:`gp_factor_reference`:
+    a pattern-only analysis (:func:`repro.sparse.blocking.detect_dense_tail`)
+    splits the elimination at a switch column ``k*``.  Columns before
+    the switch run the reference left-looking recipe with the list-based
+    reach of :class:`~repro.graph.dfs.ReachGraph`; the trailing columns
+    are gathered into one contiguous panel (U-top block over the Schur
+    block) and eliminated with dense kernels — a bulk left-looking
+    update by the leading columns followed by right-looking rank-1
+    updates with LAPACK-style partial pivoting confined to the panel.
+
+    Contract versus the reference oracle (the PR-3 discipline):
+
+    * identical nonzero patterns and row permutation (pivot choice uses
+      the same threshold rule, the same reach-order tie-break, and NaNs
+      can never win a pivot search);
+    * bit-identical :class:`~repro.parallel.ledger.CostLedger` — the
+      reference skips exact-zero update sources, and the dense kernels
+      preserve exact zeros (``x - l*0 == x``), so the counted work is
+      recovered exactly from the final values and the pattern;
+    * values equal up to floating-point summation order inside the
+      dense tail, bit-identical before the switch;
+    * the first failing column of a singular matrix raises the same
+      :class:`SingularMatrixError`.
+
+    ``static_perturb > 0`` (the supernodal escape hatch) rewrites the
+    pattern mid-flight, so that path delegates to the reference loop.
+    ``dense_plan`` lets callers with a fixed pattern (KLU's per-block
+    symbolic) skip re-detection; a stale plan is re-detected, never
+    trusted.  The dense phase is traced as a ``numeric.gp.panel`` span
+    whose ledger, plus the scalar phase attached to the caller's span
+    as overhead, conserves against the total.
+    """
+    if static_perturb > 0.0:
+        return gp_factor_reference(
+            A, pivot_tol=pivot_tol, static_perturb=static_perturb, ledger=ledger
+        )
+    n = A.n_cols
+    if A.n_rows != n:
+        raise StructureError("GP factorization requires a square matrix")
+    led = ledger if ledger is not None else CostLedger()
+    a_fault = _fault_values("gp.factor.values", A.data)
+    if a_fault is not A.data:
+        A = CSC(n, n, A.indptr, A.indices, a_fault)
+
+    if n == 0:
+        e = CSC.empty(0, 0)
+        return GPResult(e, e, np.empty(0, dtype=np.int64), led)
+
+    if dense_plan is None or not dense_plan.matches(A):
+        dense_plan = detect_dense_tail(A)
+    ks = dense_plan.switch
+
+    # Phase ledgers: scalar head (caller-span overhead) and dense tail
+    # (the numeric.gp.panel span); both fold into the caller's ledger.
+    lscal = CostLedger()
+    lpan = CostLedger()
+
+    cap = max(4 * A.nnz + n, 16)
+    Lp = np.zeros(n + 1, dtype=np.int64)
+    Li = np.empty(cap, dtype=np.int64)
+    Lx = np.empty(cap, dtype=np.float64)
+    Up = np.zeros(n + 1, dtype=np.int64)
+    Ui = np.empty(cap, dtype=np.int64)
+    Ux = np.empty(cap, dtype=np.float64)
+    lnz = unz = 0
+
+    pinv = np.full(n, -1, dtype=np.int64)
+    pinv_l = [-1] * n          # Python mirror, read by the list DFS
+    lp_l = [0] * (n + 1)       # Python mirror of Lp
+    x = np.zeros(n, dtype=np.float64)
+    graph = ReachGraph(n)
+    xi = graph.xi
+    Ap, Ai, Ax = A.indptr, A.indices, A.data
+    offdiag_swaps = 0
+
+    # ---- Scalar head: left-looking columns [0, ks), reference recipe
+    # with the list-based reach (same traversal, same counts).
+    for k in range(ks):
+        p0, p1 = int(Ap[k]), int(Ap[k + 1])
+        arows = Ai[p0:p1]
+        graph.stamp += 1
+        top, steps = graph.reach(arows.tolist(), pinv_l)
+        lscal.dfs_steps += steps + (p1 - p0)
+        lscal.columns += 1
+
+        pat = xi[top:n]
+        x[pat] = 0.0
+        x[arows] = Ax[p0:p1]
+
+        # Sparse triangular solve in topological order.
+        for j in pat:
+            jc = pinv_l[j]
+            if jc < 0:
+                continue
+            xj = x[j]
+            if xj == 0.0:
+                continue
+            lo = lp_l[jc] + 1
+            hi = lp_l[jc + 1]
+            x[Li[lo:hi]] -= Lx[lo:hi] * xj
+            lscal.sparse_flops += hi - lo
+
+        # Pivot search among non-pivotal rows of the pattern.
+        ipiv = -1
+        pivmag = -1.0
+        diag_val = None
+        for i in pat:
+            if pinv_l[i] >= 0:
+                continue
+            mag = abs(x[i])
+            if mag > pivmag:
+                pivmag = mag
+                ipiv = i
+            if i == k:
+                diag_val = x[i]
+        if diag_val is not None and pivmag > 0.0 and abs(diag_val) >= pivot_tol * pivmag:
+            ipiv = k
+        if ipiv < 0 or x[ipiv] == 0.0:
+            raise SingularMatrixError(
+                f"no usable pivot in column {k} (structurally or numerically singular)",
+                column=k,
+            )
+        pivval = x[ipiv]
+        if ipiv != k:
+            offdiag_swaps += 1
+        pinv[ipiv] = k
+        pinv_l[ipiv] = k
+
+        # Store U column k (rows already pivotal, in pivot numbering).
+        psz = len(pat)
+        Ui = _grow(Ui, unz + psz)
+        Ux = _grow(Ux, unz + psz)
+        ucount = 1
+        for i in pat:
+            pi = pinv_l[i]
+            if pi >= 0 and i != ipiv:
+                Ui[unz] = pi
+                Ux[unz] = x[i]
+                unz += 1
+                ucount += 1
+        Ui[unz] = k
+        Ux[unz] = pivval
+        unz += 1
+        Up[k + 1] = unz
+
+        # Store L column k (non-pivotal rows, original numbering),
+        # pivot first with value 1.
+        Li = _grow(Li, lnz + psz)
+        Lx = _grow(Lx, lnz + psz)
+        Li[lnz] = ipiv
+        Lx[lnz] = 1.0
+        lnz += 1
+        lcol = [ipiv]
+        for i in pat:
+            if pinv_l[i] < 0:
+                Li[lnz] = i
+                Lx[lnz] = x[i] / pivval
+                lnz += 1
+                lcol.append(i)
+                lscal.sparse_flops += 1
+        Lp[k + 1] = lnz
+        lp_l[k + 1] = lnz
+        graph.append_column(lcol)
+        lscal.mem_words += len(lcol) + ucount
+
+    # ---- Dense tail: columns [ks, n) as one gathered panel.
+    tr = get_tracer()
+    if ks < n:
+        with tr.span("numeric.gp.panel") as psp:
+            m = n - ks
+            free = np.flatnonzero(pinv < 0)            # the m unpivoted rows
+            slot_of = np.full(n, -1, dtype=np.int64)   # row -> panel slot
+            slot_of[free] = np.arange(m, dtype=np.int64)
+            slot2row = free.copy()
+
+            # Combined panel P: rows [0, ks) are pivotal rows in pivot
+            # numbering (the U top block), rows [ks, n) the not-yet-
+            # pivotal rows in slot numbering (the Schur block S).
+            p0, p1 = int(Ap[ks]), int(Ap[n])
+            arows_t = Ai[p0:p1]
+            avals_t = _fault_values("gp.panel", Ax[p0:p1])
+            acols_t = np.repeat(np.arange(m, dtype=np.int64), np.diff(Ap[ks:]))
+            P = np.zeros((n, m), dtype=np.float64)
+            comb = np.where(pinv[arows_t] >= 0,
+                            pinv[arows_t], ks + slot_of[arows_t])
+            P[comb, acols_t] = avals_t
+
+            # Bulk left-looking update by the leading columns in pivot
+            # (= topological) order, each vectorized across the tail.
+            # Exact zeros propagate exactly (x - l*0 == x), so entries
+            # outside a column's reach stay 0.0 — the property the
+            # ledger emulation below relies on.
+            liL = Li[:lnz]
+            tgt = np.where(pinv[liL] >= 0, pinv[liL], ks + slot_of[liL])
+            for j in range(ks):
+                lo = lp_l[j] + 1
+                hi = lp_l[j + 1]
+                if lo < hi:
+                    P[tgt[lo:hi]] -= Lx[lo:hi, None] * P[j]
+            S = P[ks:]
+
+            for t in range(m):
+                k = ks + t
+                graph.stamp += 1
+                brows = Ai[int(Ap[k]): int(Ap[k + 1])].tolist()
+                top, steps = graph.reach(brows, pinv_l)
+                lpan.dfs_steps += steps + len(brows)
+                lpan.columns += 1
+                pat = np.array(xi[top:n], dtype=np.int64)
+                pivotal = pinv[pat] >= 0
+                upat = pat[pivotal]          # reach order, like the oracle
+                cand = pat[~pivotal]
+
+                # Pivot search: argmax keeps the first maximum, which is
+                # the reference's strict-greater scan in reach order;
+                # NaN magnitudes are demoted so they can never win.
+                if cand.size == 0:
+                    raise SingularMatrixError(
+                        f"no usable pivot in column {k} "
+                        "(structurally or numerically singular)",
+                        column=k,
+                    )
+                mags = np.abs(S[slot_of[cand], t])
+                mags = np.where(np.isnan(mags), -1.0, mags)
+                am = int(np.argmax(mags))
+                pivmag = float(mags[am])
+                ipiv = int(cand[am])
+                if graph.mark[k] == graph.stamp and pinv_l[k] < 0:
+                    diag_val = float(S[slot_of[k], t])
+                    if pivmag > 0.0 and abs(diag_val) >= pivot_tol * pivmag:
+                        ipiv = k
+                if pivmag < 0.0 or S[slot_of[ipiv], t] == 0.0:
+                    raise SingularMatrixError(
+                        f"no usable pivot in column {k} "
+                        "(structurally or numerically singular)",
+                        column=k,
+                    )
+                pivval = float(S[slot_of[ipiv], t])
+                if ipiv != k:
+                    offdiag_swaps += 1
+                pinv[ipiv] = k
+                pinv_l[ipiv] = k
+
+                # Row swap confined to the panel: the pivot row moves to
+                # slot t (columns before t are dead, already harvested).
+                sp = int(slot_of[ipiv])
+                if sp != t:
+                    rt = int(slot2row[t])
+                    S[[t, sp], t:] = S[[sp, t], t:]
+                    slot2row[t], slot2row[sp] = ipiv, rt
+                    slot_of[ipiv], slot_of[rt] = t, sp
+
+                # Harvest U: pivotal pattern rows; a value lives at
+                # combined row pinv[r] for the top block and for
+                # already-eliminated tail rows alike (the swap parked
+                # tail pivot j at slot j - ks).
+                ucols = pinv[upat]
+                uvals = P[ucols, t]
+                usz = int(ucols.size)
+                Ui = _grow(Ui, unz + usz + 1)
+                Ux = _grow(Ux, unz + usz + 1)
+                Ui[unz: unz + usz] = ucols
+                Ux[unz: unz + usz] = uvals
+                unz += usz
+                Ui[unz] = k
+                Ux[unz] = pivval
+                unz += 1
+                Up[k + 1] = unz
+
+                # Ledger emulation, bit-identical to the oracle: the
+                # reference counts |L(:,j)|-1 multiply-adds for every
+                # reached pivotal j whose source value is nonzero at use
+                # time — which is its final U value here.
+                nzsrc = ucols[uvals != 0.0]
+                if nzsrc.size:
+                    lpan.sparse_flops += float(
+                        np.sum(Lp[nzsrc + 1] - Lp[nzsrc] - 1)
+                    )
+
+                # Harvest L: remaining pattern rows in reach order,
+                # divided by the pivot (the panel division also feeds
+                # the rank-1 update below).
+                lrows = cand[cand != ipiv]
+                lsz = int(lrows.size)
+                S[t + 1:, t] /= pivval
+                lvals = S[slot_of[lrows], t]
+                Li = _grow(Li, lnz + lsz + 1)
+                Lx = _grow(Lx, lnz + lsz + 1)
+                Li[lnz] = ipiv
+                Lx[lnz] = 1.0
+                lnz += 1
+                Li[lnz: lnz + lsz] = lrows
+                Lx[lnz: lnz + lsz] = lvals
+                lnz += lsz
+                Lp[k + 1] = lnz
+                lp_l[k + 1] = lnz
+                graph.append_column([ipiv] + lrows.tolist())
+                lpan.sparse_flops += lsz
+                lpan.mem_words += lsz + usz + 2
+
+                # Right-looking rank-1 update of the remaining block.
+                if t + 1 < m:
+                    S[t + 1:, t + 1:] -= np.outer(S[t + 1:, t], S[t, t + 1:])
+
+            psp.attach(lpan)
+            if tr.enabled:
+                psp.set(switch=ks, cols=m,
+                        predicted_density=dense_plan.density)
+        if tr.enabled:
+            parent = tr.current()
+            if parent is not None:
+                # Conservation: caller attaches the inclusive ledger;
+                # the scalar head is its own-work not covered by the
+                # panel child span.
+                parent.attach_overhead(lscal)
+
+    led.add(lscal)
+    led.add(lpan)
+
+    metrics = tr.metrics
+    if metrics.enabled:
+        metrics.incr("gp.offdiag_pivots", offdiag_swaps)
+        metrics.incr("gp.fill_nnz", max(0, lnz + unz - A.nnz))
+        if ks < n:
+            metrics.incr("gp.panel.cols", n - ks)
+        amax = float(np.max(np.abs(A.data), initial=0.0))
+        umax = float(np.max(np.abs(Ux[:unz]), initial=0.0))
+        metrics.set_gauge("gp.pivot_growth", umax / amax if amax else 0.0)
+
+    # Renumber L's rows into pivot order and sort both factors.
+    Lfinal = CSC(n, n, Lp, pinv[Li[:lnz]], Lx[:lnz].copy()).sort_indices()
+    Ufinal = CSC(n, n, Up, Ui[:unz].copy(), Ux[:unz].copy()).sort_indices()
+    row_perm = np.empty(n, dtype=np.int64)
+    row_perm[pinv] = np.arange(n, dtype=np.int64)
+    return GPResult(Lfinal, Ufinal, row_perm, led, dense_plan=dense_plan)

@@ -30,6 +30,7 @@ from ..ordering.perm import invert
 from ..parallel.ledger import CostLedger
 from ..resilience.faults import fault_values as _fault_values
 from ..parallel.machine import MachineModel
+from ..sparse.blocking import DensePlan
 from ..sparse.csc import CSC
 from ..sparse.schedule import (
     BlockedRefactorSchedule,
@@ -106,6 +107,10 @@ class KLUSymbolic:
     row_perm_pre: np.ndarray   # BTF + AMD rows (before numerical pivoting)
     col_perm: np.ndarray       # BTF + AMD columns (final)
     ledger: CostLedger = field(default_factory=CostLedger)
+    # Per-block dense-tail blocking plans for the blocked gp_factor,
+    # cached on first factorization (pattern-only, so they survive any
+    # number of refactor / pivot-fallback cycles on the fixed pattern).
+    dense_plans: Optional[List[Optional[DensePlan]]] = None
 
     @property
     def n_blocks(self) -> int:
@@ -261,6 +266,8 @@ class KLU:
             block_ledgers: List[CostLedger] = []
             block_ws: List[float] = []
             row_perm = symbolic.row_perm_pre.copy()  # domain: perm[global->btf]
+            if symbolic.dense_plans is None:
+                symbolic.dense_plans = [None] * symbolic.n_blocks
             for k in range(symbolic.n_blocks):
                 lo, hi = int(splits[k]), int(splits[k + 1])
                 blk = B.submatrix(lo, hi, lo, hi)
@@ -269,7 +276,9 @@ class KLU:
                     if tr.enabled:
                         bsp.set(block=k, n=hi - lo)
                     lu = gp_factor(blk, pivot_tol=self.pivot_tol,
-                                   static_perturb=self.static_perturb, ledger=led)
+                                   static_perturb=self.static_perturb, ledger=led,
+                                   dense_plan=symbolic.dense_plans[k])
+                symbolic.dense_plans[k] = lu.dense_plan
                 bsp.attach(led)
                 block_lu.append(lu)
                 block_ledgers.append(led)
@@ -420,8 +429,12 @@ class KLU:
                     prior.schedule = lu.schedule
                 except SingularMatrixError:
                     metrics.incr("klu.refactor.block_fallback")
+                    plans = symbolic.dense_plans
                     lu = gp_factor(blk, pivot_tol=self.pivot_tol,
-                                   static_perturb=self.static_perturb, ledger=led)
+                                   static_perturb=self.static_perturb, ledger=led,
+                                   dense_plan=plans[k] if plans else None)
+                    if plans is not None:
+                        plans[k] = lu.dense_plan
                     row_perm[lo:hi] = row_perm[lo:hi][lu.row_perm]
                     fell_back = True
                 block_lu.append(lu)

@@ -263,26 +263,37 @@ class SupernodalLU:
             F.append(np.zeros((nr, w)))
             G.append(np.zeros((w, nr - w)))
 
-        # Scatter A into the panels.
-        for j in range(n):
-            s = int(sn_of[j])
-            c0 = int(starts[s])
-            rows_s = sn_rows[s]
-            w = int(starts[s + 1] - starts[s])
-            rows, vals = M.col(j)
-            for t in range(rows.size):
-                r = int(rows[t])
-                if r >= c0:
-                    # Column side of supernode s (diag or below).
-                    pos = int(np.searchsorted(rows_s, r))
-                    F[s][pos, j - c0] = vals[t]
-                else:
-                    # Upper triangle: row r lives in supernode sr's G.
-                    sr = int(sn_of[r])
-                    rows_sr = sn_rows[sr]
-                    wr = int(starts[sr + 1] - starts[sr])
-                    pos = int(np.searchsorted(rows_sr[wr:], j))
-                    G[sr][r - int(starts[sr]), pos] = vals[t]
+        # Scatter A into the panels — grouped by owning supernode so
+        # each group lands with one bulk searchsorted + fancy store.
+        acols = np.repeat(np.arange(n, dtype=np.int64), np.diff(M.indptr))
+        arows = M.indices
+        avals = M.data
+        scol = sn_of[acols]
+        lower = arows >= starts[scol]
+        # Column side: entry (r, j) with r >= c0 of j's supernode goes
+        # to F[s].  ``scol`` is non-decreasing (columns scanned in
+        # order), so group boundaries come straight from searchsorted.
+        ls, lr, lc, lv = scol[lower], arows[lower], acols[lower], avals[lower]
+        bounds = np.searchsorted(ls, np.arange(nsup + 1))
+        for s in range(nsup):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if lo < hi:
+                pos = np.searchsorted(sn_rows[s], lr[lo:hi])
+                F[s][pos, lc[lo:hi] - int(starts[s])] = lv[lo:hi]
+        # Row side: entry (r, j) above the diagonal block goes to the
+        # G panel of r's supernode; sort (stably) by that supernode.
+        upper = ~lower
+        ur, uc, uv = arows[upper], acols[upper], avals[upper]
+        us = sn_of[ur]
+        order = np.argsort(us, kind="stable")
+        us, ur, uc, uv = us[order], ur[order], uc[order], uv[order]
+        bounds = np.searchsorted(us, np.arange(nsup + 1))
+        for s in range(nsup):
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if lo < hi:
+                wr = int(starts[s + 1] - starts[s])
+                pos = np.searchsorted(sn_rows[s][wr:], uc[lo:hi])
+                G[s][ur[lo:hi] - int(starts[s]), pos] = uv[lo:hi]
 
         total = CostLedger()
         total.mem_words += A.nnz
@@ -447,37 +458,46 @@ class SupernodalLU:
                     upd_into[t].append(tid)
             total.add(upd_led)
 
-        # Extract CSC factors.
-        Lr, Lc, Lv, Ur, Uc, Uv = [], [], [], [], [], []
+        # Extract CSC factors — per-supernode bulk index arithmetic, in
+        # the same column-by-column emission order as the scalar loops.
+        _ei = np.zeros(0, dtype=np.int64)
+        _ev = np.zeros(0, dtype=np.float64)
+        Lr, Lc, Lv = [_ei], [_ei], [_ev]
+        Ur, Uc, Uv = [_ei], [_ei], [_ev]
         for s in range(nsup):
             c0, c1 = int(starts[s]), int(starts[s + 1])
             w = c1 - c0
             rows_s = sn_rows[s]
+            nr = rows_s.size
             beyond = rows_s[w:]
+            nb = nr - w
             D = F[s][:w, :]
-            for k in range(w):
-                col = c0 + k
-                # U: diag block upper part incl diagonal.
-                Ur.extend(range(c0, col + 1))
-                Uc.extend([col] * (k + 1))
-                Uv.extend(D[: k + 1, k].tolist())
-                # L: unit diag + diag-block strictly lower + below rows.
-                Lr.append(col)
-                Lc.append(col)
-                Lv.append(1.0)
-                Lr.extend(range(col + 1, c1))
-                Lc.extend([col] * (w - k - 1))
-                Lv.extend(D[k + 1 :, k].tolist())
-                Lr.extend(beyond.tolist())
-                Lc.extend([col] * beyond.size)
-                Lv.extend(F[s][w:, k].tolist())
+            # U: upper triangle of the diag block incl diagonal, col by
+            # col (tril_indices read as (col, row) walks columns).
+            ku, ru = np.tril_indices(w)
+            Ur.append(c0 + ru)
+            Uc.append(c0 + ku)
+            Uv.append(D[ru, ku])
+            # L: unit-diagonal trapezoid — for column k, rows rows_s[k:]
+            # with values F[s][k:, k], the diagonal replaced by 1.0.
+            kl, rl = np.nonzero(np.arange(w)[:, None] <= np.arange(nr)[None, :])
+            lvals = F[s][rl, kl]
+            lvals[rl == kl] = 1.0
+            Lr.append(rows_s[rl])
+            Lc.append(c0 + kl)
+            Lv.append(lvals)
             # U beyond: rows c0..c1, columns = beyond.
-            for bi, col in enumerate(beyond):
-                Ur.extend(range(c0, c1))
-                Uc.extend([int(col)] * w)
-                Uv.extend(G[s][:, bi].tolist())
-        L = CSC.from_coo(Lr, Lc, Lv, (n, n), sum_duplicates=False)
-        U = CSC.from_coo(Ur, Uc, Uv, (n, n), sum_duplicates=False)
+            Ur.append(np.tile(np.arange(c0, c1, dtype=np.int64), nb))
+            Uc.append(np.repeat(beyond, w))
+            Uv.append(G[s].ravel(order="F"))
+        L = CSC.from_coo(
+            np.concatenate(Lr), np.concatenate(Lc), np.concatenate(Lv),
+            (n, n), sum_duplicates=False,
+        )
+        U = CSC.from_coo(
+            np.concatenate(Ur), np.concatenate(Uc), np.concatenate(Uv),
+            (n, n), sum_duplicates=False,
+        )
         total.mem_words += L.nnz + U.nnz
 
         return SupernodalNumeric(

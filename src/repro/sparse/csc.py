@@ -192,17 +192,17 @@ class CSC:
 
     @shapes(self="csc[r,c]", returns="csc[r,c]")
     def sort_indices(self) -> "CSC":
-        """Return a copy with row indices sorted within each column."""
+        """Return a copy with row indices sorted within each column.
+
+        One stable ``lexsort`` over (column, row) — equivalent to a
+        stable per-column argsort (duplicates keep their relative
+        order), without the per-column Python loop.
+        """
         indptr = self.indptr
-        indices = self.indices.copy()
-        data = self.data.copy()
-        for j in range(self.n_cols):
-            lo, hi = indptr[j], indptr[j + 1]
-            if hi - lo > 1:
-                order = np.argsort(indices[lo:hi], kind="stable")
-                indices[lo:hi] = indices[lo:hi][order]
-                data[lo:hi] = data[lo:hi][order]
-        return CSC(self.n_rows, self.n_cols, indptr.copy(), indices, data)
+        col_of = np.repeat(np.arange(self.n_cols, dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((self.indices, col_of))
+        return CSC(self.n_rows, self.n_cols, indptr.copy(),
+                   self.indices[order], self.data[order])
 
     @shapes(self="csc[r,c]", returns="csc[r,c]")
     def drop_zeros(self, tol: float = 0.0) -> "CSC":

@@ -44,7 +44,9 @@ def test_chaos_sweep_suite(name):
     """Every injected fault ends in a verified recovered solve or a
     typed ReproError — never a bare exception or a silent NaN."""
     out = run_chaos(names=[name], steps=1, warm=True)
-    assert len(out["cases"]) == len(FAULT_KINDS)
+    # One cell per fault kind, plus the cold gp.panel cells for the two
+    # value-fault kinds (the dense-panel path of the blocked factor).
+    assert len(out["cases"]) == len(FAULT_KINDS) + 2
     for case in out["cases"]:
         assert case["classification"] not in FAILURE_CLASSES, case
         assert case["classification"] in ("recovered", "typed_error")
