@@ -257,16 +257,42 @@ def _klu_refactor_reference(klu: KLU, A: CSC, numeric):
     )
 
 
+def _aggregate_phase_spans(tracer, machine) -> Dict[str, dict]:
+    """Aggregate a traced run's spans by name into the phase table.
+
+    ``modeled_s``/``wall_s`` are inclusive per span, so nested names
+    (``order.*`` inside ``symbolic``) overlap their parents by design.
+    Spans that never captured wall time (leaf spans created without a
+    ``with`` block) keep ``wall_s`` null — not a silent 0.0 — so
+    modeled and wall views count the same spans, with ``wall_count``
+    recording the coverage gap.
+    """
+    from ..obs import modeled_times
+
+    times = modeled_times(tracer, machine)
+    spans: Dict[str, dict] = {}
+    for sp in tracer.spans:
+        rec = spans.setdefault(
+            sp.name,
+            {"count": 0, "modeled_s": 0.0, "wall_s": None, "wall_count": 0},
+        )
+        rec["count"] += 1
+        rec["modeled_s"] += times[sp.sid][1]
+        wall = sp.wall_seconds
+        if wall is not None:
+            rec["wall_s"] = (rec["wall_s"] or 0.0) + wall
+            rec["wall_count"] += 1
+    return spans
+
+
 def _phase_breakdown(name: str, seed: int) -> dict:
     """Per-phase modeled + wall seconds from one traced KLU pipeline run.
 
     One analyze/factor/refactor/solve pass under a wall-clock-enabled
     :class:`~repro.obs.Tracer` (outside the timed best-of loops), then
-    spans are aggregated by name: ``modeled_s``/``wall_s`` are inclusive
-    per span, so nested names (``order.*`` inside ``symbolic``) overlap
-    their parents by design.
+    spans are aggregated by name via :func:`_aggregate_phase_spans`.
     """
-    from ..obs import Tracer, modeled_times, tracing
+    from ..obs import Tracer, tracing
     from ..parallel.machine import SANDY_BRIDGE
 
     A = get_matrix(name)
@@ -280,16 +306,7 @@ def _phase_breakdown(name: str, seed: int) -> dict:
         A2 = CSC(A.n_rows, A.n_cols, A.indptr, A.indices, A.data * 1.01)
         num = klu.refactor_fast(A2, num)
         klu.solve(num, b)
-    times = modeled_times(tracer, SANDY_BRIDGE)
-    spans: Dict[str, dict] = {}
-    for sp in tracer.spans:
-        rec = spans.setdefault(
-            sp.name, {"count": 0, "modeled_s": 0.0, "wall_s": 0.0}
-        )
-        rec["count"] += 1
-        rec["modeled_s"] += times[sp.sid][1]
-        if sp.wall_seconds is not None:
-            rec["wall_s"] += sp.wall_seconds
+    spans = _aggregate_phase_spans(tracer, SANDY_BRIDGE)
     return {"matrix": name, "machine": SANDY_BRIDGE.name, "spans": spans}
 
 
@@ -320,6 +337,30 @@ def _bench_xyce_sequence(n_matrices: int) -> dict:
     for lu_r, lu_v in zip(num_ref.block_lu, num_vec.block_lu):
         if lu_r.U.nnz:
             drift = max(drift, float(np.abs(lu_r.U.data - lu_v.U.data).max()))
+
+    # Flight-recorded replay pass (untimed, separate from the best-of
+    # loops so it cannot perturb the gated speedups): per-step wall,
+    # modeled cost, and cache counter deltas, scanned for drift.
+    from ..obs import FlightRecorder, Tracer, tracing
+    from ..parallel.machine import SANDY_BRIDGE
+
+    flight = FlightRecorder(capacity=max(1, len(seq)))
+    tracer = Tracer(wall_clock=time.perf_counter)
+    with tracing(tracer):
+        num_f = klu.factor(seq[0])
+        flight.record_step(
+            0, modeled_s=SANDY_BRIDGE.seconds(num_f.ledger),
+            metrics=tracer.metrics,
+        )
+        for k, A in enumerate(seq[1:], start=1):
+            t0 = time.perf_counter()
+            num_f = klu.refactor_fast(A, num_f)
+            flight.record_step(
+                k,
+                modeled_s=SANDY_BRIDGE.seconds(num_f.ledger),
+                wall_s=time.perf_counter() - t0,
+                metrics=tracer.metrics,
+            )
     return {
         "reference_s": t_ref,
         "vectorized_s": t_vec,
@@ -328,6 +369,10 @@ def _bench_xyce_sequence(n_matrices: int) -> dict:
         "n": seq[0].n_rows,
         "nnz": seq[0].nnz,
         "max_factor_drift": drift,
+        "flight": {
+            "steps": len(flight),
+            "anomalies": flight.scan(),
+        },
     }
 
 

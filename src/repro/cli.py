@@ -415,6 +415,7 @@ def _cmd_trace(args) -> int:
         span_tree,
         to_jsonl,
         to_perfetto,
+        top_spans,
         tracing,
         validate_perfetto,
     )
@@ -498,6 +499,7 @@ def _cmd_trace(args) -> int:
 
     ok = not ledger_problems and not perfetto_problems
     snap = tracer.metrics.snapshot()
+    top = top_spans(tracer, machine, args.top) if args.top else None
     if args.format == "json":
         print(json.dumps({
             "matrix": args.matrix,
@@ -510,6 +512,7 @@ def _cmd_trace(args) -> int:
             "n_spans": len(tracer.spans),
             "span_names": sorted({s.name for s in tracer.spans}),
             "tree": tree.splitlines(),
+            "top": top,
             "metrics": snap,
             "residual": residual,
             "outputs": {"perfetto": perfetto_path, "jsonl": jsonl_path},
@@ -518,6 +521,15 @@ def _cmd_trace(args) -> int:
         print(f"trace: {args.matrix} via {args.solver} "
               f"(threads={args.threads}, machine={machine.name})")
         print(tree)
+        if top is not None:
+            from .bench.report import format_table
+
+            print(format_table(
+                ["span", "count", "modeled_s", "% of root"],
+                [[r["name"], r["count"], r["modeled_s"],
+                  f"{r['pct_of_root']:.1f}"] for r in top],
+                title=f"top {len(top)} span name(s) by total modeled time",
+            ))
         if snap["counters"]:
             print("counters:")
             for k, v in snap["counters"].items():
@@ -571,6 +583,143 @@ def _cmd_chaos(args) -> int:
     if args.output:
         print(f"wrote {args.output}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _fmt_q(snapshot, key) -> str:
+    if snapshot is None:
+        return "-"
+    v = snapshot.get(key)
+    return "-" if v is None else f"{v:.3e}"
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile``: continuous-profiling run over a same-pattern
+    solve sequence (the Xyce transient traffic shape, or jittered
+    sequences of suite matrices), producing PROFILE.json + dashboard."""
+    import json
+    import time
+
+    from .bench.report import format_table
+    from .obs import run_profile
+    from .obs.calibrate import fit_machine_model
+    from .parallel.ledger import CostLedger
+
+    machine = XEON_PHI if args.machine == "xeonphi" else SANDY_BRIDGE
+    wall = None if args.no_wall else time.perf_counter
+    if args.calibrate and wall is None:
+        print("profile: --calibrate needs wall capture; drop --no-wall",
+              file=sys.stderr)
+        return 2
+
+    runs = {}
+    if args.matrix:
+        # Suite mode: each matrix becomes its own same-pattern sequence
+        # (deterministic value jitter), profiled independently so the
+        # drift detectors never see a pattern switch as an anomaly.
+        for name in args.matrix:
+            A = _load(name)
+            rng = np.random.default_rng(args.seed)
+            seq = [
+                CSC(A.n_rows, A.n_cols, A.indptr, A.indices,
+                    A.data * (1.0 + 0.01 * rng.standard_normal(A.nnz)))
+                for _ in range(args.steps)
+            ]
+            runs[name] = run_profile(
+                matrices=seq, solver=args.solver, machine=machine,
+                wall_clock=wall, fault_seed=args.fault,
+            )
+    else:
+        runs["xyce1_analog"] = run_profile(
+            steps=args.steps, solver=args.solver, machine=machine,
+            wall_clock=wall, fault_seed=args.fault,
+        )
+
+    anomalies = [
+        {"run": label, **event}
+        for label in sorted(runs)
+        for event in runs[label]["anomalies"]
+    ]
+
+    calibration = None
+    if args.calibrate:
+        samples = [
+            (name, CostLedger(**led), wall_s)
+            for label in sorted(runs)
+            for name, led, wall_s in runs[label]["samples"]
+        ]
+        calibration = fit_machine_model(samples, base=machine).to_dict()
+
+    doc = {
+        "schema": "repro.profile.v1",
+        "machine": machine.name,
+        "solver": args.solver,
+        "steps": args.steps,
+        "fault_seed": args.fault,
+        "runs": runs,
+        "anomalies": anomalies,
+        "calibration": calibration,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    faulted = args.fault is not None
+    ok = bool(anomalies) if faulted else not anomalies
+
+    if args.format == "json":
+        print(json.dumps({**doc, "ok": ok}, indent=2, sort_keys=True))
+    else:
+        for label in sorted(runs):
+            prof = runs[label]
+            rows = []
+            for phase in sorted(prof["phases"]):
+                m = prof["phases"][phase]["modeled"]
+                w = prof["phases"][phase]["wall"]
+                rows.append([
+                    phase, m["count"],
+                    _fmt_q(m, "p50"), _fmt_q(m, "p95"), _fmt_q(m, "p99"),
+                    _fmt_q(m, "max"),
+                    _fmt_q(w, "p50"), _fmt_q(w, "p95"), _fmt_q(w, "p99"),
+                ])
+            print(format_table(
+                ["phase", "count", "model p50", "model p95", "model p99",
+                 "model max", "wall p50", "wall p95", "wall p99"],
+                rows,
+                title=f"{label}: {prof['steps']} step(s), n={prof['n']}, "
+                      f"solver={prof['solver']}, machine={prof['machine']}",
+            ))
+            print()
+        if anomalies:
+            print(f"{len(anomalies)} anomaly event(s):")
+            for e in anomalies:
+                detail = {k: v for k, v in e.items()
+                          if k not in ("run", "event", "step")}
+                print(f"  [{e['run']}] step {e['step']} {e['event']} {detail}")
+        else:
+            print("no anomaly events")
+        if calibration is not None:
+            rows = [
+                [kind, r["count"], f"{r['wall_s']:.3e}",
+                 f"{r['modeled_default_s']:.3e}", f"{r['modeled_fitted_s']:.3e}",
+                 "-" if r["ratio_fitted"] is None else f"{r['ratio_fitted']:.2f}",
+                 "FLAG" if r["flagged"] else ""]
+                for kind, r in sorted(calibration["residuals"].items())
+            ]
+            print()
+            print(format_table(
+                ["span kind", "count", "wall_s", "model default",
+                 "model fitted", "fit ratio", ""],
+                rows,
+                title=f"calibration: {calibration['n_samples']} sample(s), "
+                      f"r2={calibration['r2']:.3f}, "
+                      f"fitted {', '.join(calibration['fitted'])}",
+            ))
+        print(f"wrote {args.output}")
+        verdict = ("expected >=1 anomaly on the faulted run"
+                   if faulted else "expected 0 anomalies on the clean run")
+        print(f"profile: {'OK' if ok else 'FAIL'} ({verdict}; "
+              f"got {len(anomalies)})")
+    return 0 if ok else 1
 
 
 def _cmd_bench(args) -> int:
@@ -694,10 +843,41 @@ def main(argv=None) -> int:
                             "pattern_drift"],
                    help="inject one deterministic fault and trace the "
                         "recovery ladder instead of the plain solve")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="also print the top N span names by total modeled "
+                        "time (count, total, %% of root)")
     p.add_argument("--format", choices=["human", "json"], default="human")
     p.add_argument("--output",
                    help="output base path (default: TRACE_<matrix>_<solver>)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="continuous profiling: per-phase percentile "
+                            "histograms, flight recorder + drift anomalies, "
+                            "MachineModel calibration")
+    p.add_argument("--steps", type=int, default=25,
+                   help="same-pattern sequence length (default 25)")
+    p.add_argument("--matrix", action="append",
+                   help="suite name or .mtx path (repeatable); default: the "
+                        "Xyce transient Jacobian sequence")
+    p.add_argument("--solver", choices=["klu", "basker"], default="klu")
+    p.add_argument("--machine", choices=["sandybridge", "xeonphi"],
+                   default="sandybridge")
+    p.add_argument("--calibrate", action="store_true",
+                   help="fit MachineModel cost coefficients from the "
+                        "collected (ledger, wall) span pairs")
+    p.add_argument("--fault", type=int, default=None, metavar="SEED",
+                   help="arm a seeded FaultPlan on the replay path (chaos "
+                        "mode: the run FAILS unless >=1 anomaly fires)")
+    p.add_argument("--no-wall", action="store_true",
+                   help="skip wall-clock capture (fully bit-deterministic "
+                        "output; incompatible with --calibrate)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="value-jitter seed for --matrix sequences (default 0)")
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument("--output", default="PROFILE.json",
+                   help="profile artifact path (default: PROFILE.json)")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("chaos", help="fault-injection sweep over the matrix suite")
     p.add_argument("--matrix", action="append",

@@ -28,8 +28,20 @@ from .export import (
     span_tree,
     to_jsonl,
     to_perfetto,
+    top_spans,
     validate_perfetto,
 )
+from .hist import StreamingHistogram
+from .flight import (
+    FlightRecorder,
+    detect_cache_hit_drop,
+    detect_pivot_growth_trend,
+    detect_recovery_events,
+    detect_step_cost_spike,
+    scan_anomalies,
+)
+from .calibrate import CalibrationResult, fit_machine_model
+from .prof import ProfilingTracer, run_profile
 
 __all__ = [
     "Metrics",
@@ -48,5 +60,17 @@ __all__ = [
     "to_jsonl",
     "parse_jsonl",
     "span_tree",
+    "top_spans",
     "validate_perfetto",
+    "StreamingHistogram",
+    "FlightRecorder",
+    "detect_step_cost_spike",
+    "detect_cache_hit_drop",
+    "detect_pivot_growth_trend",
+    "detect_recovery_events",
+    "scan_anomalies",
+    "CalibrationResult",
+    "fit_machine_model",
+    "ProfilingTracer",
+    "run_profile",
 ]

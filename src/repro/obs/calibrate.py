@@ -1,0 +1,196 @@
+"""MachineModel calibration from (ledger, wall-seconds) span pairs.
+
+The simulator prices every :class:`~repro.parallel.ledger.CostLedger`
+through a :class:`~repro.parallel.machine.MachineModel` whose
+coefficients were hand-set to the paper's *relative* observations.  For
+the planned serve daemon and makespan scheduler the *absolute* scale
+matters too, so this module fits the per-operation cost coefficients
+to measurements: each profiled span contributes one equation
+
+``wall_seconds ≈ Σ_field  ledger.field × t_field``
+
+and :func:`fit_machine_model` solves the resulting overdetermined
+system by non-negative least squares (plain numpy: iterated
+``lstsq`` with active-set clamping — 5 unknowns, so Lawson–Hanson
+machinery is unnecessary).  Ledger fields that never appear in the
+samples are left at the base model's coefficients (they are
+unidentifiable from the data).
+
+The :class:`CalibrationResult` carries the fitted model (built through
+:meth:`MachineModel.calibrated`), the coefficient table, goodness of
+fit, and a per-span-kind residual report that flags kernels whose
+modeled time diverges from measured wall time by more than
+``flag_factor`` (default 2×) — the signal that a kernel's *cost
+accounting* (not just the constants) is wrong.
+
+Everything here is deterministic given the input samples; only the
+samples themselves carry wall-clock nondeterminism, and they are
+gathered exclusively at the harness boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel.ledger import CostLedger
+from ..parallel.machine import MachineModel
+from .tracer import LEDGER_FIELDS
+
+__all__ = ["COEFFICIENT_FOR_FIELD", "CalibrationResult", "fit_machine_model"]
+
+# CostLedger field -> MachineModel coefficient priced against it.
+COEFFICIENT_FOR_FIELD = {
+    "sparse_flops": "t_sparse_flop",
+    "dense_flops": "t_dense_flop",
+    "dfs_steps": "t_dfs_step",
+    "mem_words": "t_mem_word",
+    "columns": "t_column",
+}
+assert set(COEFFICIENT_FOR_FIELD) == set(LEDGER_FIELDS)
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted model + fit quality + per-span-kind residuals."""
+
+    base: MachineModel
+    model: MachineModel
+    coefficients: Dict[str, float]      # full coefficient table (fitted + kept)
+    fitted: Tuple[str, ...]             # coefficient names actually fitted
+    n_samples: int
+    r2: float                           # 1 - SS_res/SS_tot on wall seconds
+    residuals: Dict[str, dict] = field(default_factory=dict)
+    flag_factor: float = 2.0
+
+    @property
+    def flagged(self) -> List[str]:
+        """Span kinds whose fitted model still diverges > flag_factor."""
+        return sorted(k for k, r in self.residuals.items() if r["flagged"])
+
+    def to_dict(self) -> dict:
+        return {
+            "base_model": self.base.name,
+            "model": self.model.name,
+            "coefficients": {k: self.coefficients[k]
+                             for k in sorted(self.coefficients)},
+            "fitted": list(self.fitted),
+            "n_samples": self.n_samples,
+            "r2": self.r2,
+            "flag_factor": self.flag_factor,
+            "flagged": self.flagged,
+            "residuals": {k: self.residuals[k]
+                          for k in sorted(self.residuals)},
+        }
+
+
+def _nnls(A: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Non-negative least squares via iterated lstsq + clamping.
+
+    Fit, zero out negative coefficients, refit on the surviving
+    columns; repeats until all active coefficients are non-negative.
+    Exact for this problem size and fully deterministic.
+    """
+    n = A.shape[1]
+    active = list(range(n))
+    x = np.zeros(n)
+    for _ in range(n + 1):
+        if not active:
+            break
+        sol, *_ = np.linalg.lstsq(A[:, active], y, rcond=None)
+        if np.all(sol >= 0.0):
+            for j, col in enumerate(active):
+                x[col] = sol[j]
+            break
+        active = [col for col, v in zip(active, sol) if v > 0.0]
+    return x
+
+
+def fit_machine_model(
+    samples: Sequence[Tuple[str, CostLedger, float]],
+    base: MachineModel,
+    flag_factor: float = 2.0,
+    name: Optional[str] = None,
+) -> CalibrationResult:
+    """Fit cost coefficients from ``(span_name, ledger, wall_s)`` samples.
+
+    Raises ``ValueError`` when no sample carries both a non-empty
+    ledger and a finite positive wall time — calibration needs real
+    measurements, not modeled ones.
+    """
+    rows: List[List[float]] = []
+    y: List[float] = []
+    kept: List[Tuple[str, CostLedger, float]] = []
+    for span_name, ledger, wall_s in samples:
+        if wall_s is None or not np.isfinite(wall_s) or wall_s <= 0.0:
+            continue
+        if ledger is None or ledger.is_empty():
+            continue
+        rows.append([float(getattr(ledger, f)) for f in LEDGER_FIELDS])
+        y.append(float(wall_s))
+        kept.append((span_name, ledger, float(wall_s)))
+    if not rows:
+        raise ValueError(
+            "no usable calibration samples: need spans with a non-empty "
+            "cost ledger and a positive wall time (run the profiler with "
+            "a wall clock at the harness boundary)")
+
+    A = np.asarray(rows, dtype=np.float64)
+    yv = np.asarray(y, dtype=np.float64)
+
+    # Only columns with signal are identifiable; the rest keep the base
+    # model's coefficient.
+    col_mask = A.sum(axis=0) > 0.0
+    fitted_fields = [f for f, m in zip(LEDGER_FIELDS, col_mask) if m]
+    x_active = _nnls(A[:, col_mask], yv) if fitted_fields else np.zeros(0)
+
+    coefficients = {coeff: float(getattr(base, coeff))
+                    for coeff in COEFFICIENT_FOR_FIELD.values()}
+    for f, v in zip(fitted_fields, x_active):
+        coefficients[COEFFICIENT_FOR_FIELD[f]] = float(v)
+    fitted = tuple(COEFFICIENT_FOR_FIELD[f] for f in fitted_fields)
+
+    model = base.calibrated(name=name, **{c: coefficients[c] for c in fitted})
+
+    pred = np.array([model.seconds(ledger) for _, ledger, _ in kept])
+    ss_res = float(np.sum((yv - pred) ** 2))
+    ss_tot = float(np.sum((yv - yv.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else (1.0 if ss_res == 0.0 else 0.0)
+
+    # Per-span-kind residual report: aggregate wall vs modeled (default
+    # and fitted) and flag kinds still off by more than flag_factor.
+    by_kind: Dict[str, dict] = {}
+    for span_name, ledger, wall_s in kept:
+        agg = by_kind.setdefault(span_name, {
+            "count": 0, "wall_s": 0.0,
+            "modeled_default_s": 0.0, "modeled_fitted_s": 0.0,
+        })
+        agg["count"] += 1
+        agg["wall_s"] += wall_s
+        agg["modeled_default_s"] += base.seconds(ledger)
+        agg["modeled_fitted_s"] += model.seconds(ledger)
+    for kind, agg in by_kind.items():
+        wall = agg["wall_s"]
+        for which in ("default", "fitted"):
+            modeled = agg[f"modeled_{which}_s"]
+            if wall > 0.0 and modeled > 0.0:
+                ratio = modeled / wall
+            else:
+                ratio = None
+            agg[f"ratio_{which}"] = ratio
+        ratio = agg["ratio_fitted"]
+        agg["flagged"] = bool(
+            ratio is None or ratio > flag_factor or ratio < 1.0 / flag_factor)
+
+    return CalibrationResult(
+        base=base,
+        model=model,
+        coefficients=coefficients,
+        fitted=fitted,
+        n_samples=len(kept),
+        r2=r2,
+        residuals=by_kind,
+        flag_factor=flag_factor,
+    )

@@ -36,6 +36,7 @@ __all__ = [
     "to_jsonl",
     "parse_jsonl",
     "span_tree",
+    "top_spans",
     "validate_perfetto",
 ]
 
@@ -223,6 +224,38 @@ def span_tree(tracer: Tracer, machine: MachineModel, name_width: int = 36) -> st
     for root in tracer.roots:
         emit(root)
     return "\n".join(lines)
+
+
+def top_spans(tracer: Tracer, machine: MachineModel, n: int = 10) -> List[dict]:
+    """Top ``n`` span names by total inclusive modeled seconds.
+
+    Aggregates every span by name — count, total modeled seconds, and
+    the share of the root total (the sequential fold of the root spans'
+    inclusive ledgers, so nested spans can individually exceed 100% is
+    impossible but siblings of one name can sum close to it).  Ties
+    break by name so the table is deterministic.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n!r}")
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for sp in tracer.spans:
+        dur = machine.seconds(sp.ledger_total())
+        totals[sp.name] = totals.get(sp.name, 0.0) + dur
+        counts[sp.name] = counts.get(sp.name, 0) + 1
+    root_total = sum(machine.seconds(r.ledger_total()) for r in tracer.roots)
+    rows = [
+        {
+            "name": name,
+            "count": counts[name],
+            "modeled_s": totals[name],
+            "pct_of_root": (100.0 * totals[name] / root_total
+                            if root_total > 0.0 else 0.0),
+        }
+        for name in totals
+    ]
+    rows.sort(key=lambda r: (-r["modeled_s"], r["name"]))
+    return rows[:n]
 
 
 def validate_perfetto(doc: dict) -> List[str]:

@@ -1,0 +1,207 @@
+"""Streaming log-bucketed histograms for per-phase latency distributions.
+
+A :class:`StreamingHistogram` folds an unbounded stream of non-negative
+durations into a fixed family of geometric buckets: bucket ``i`` covers
+``[min_value * growth**i, min_value * growth**(i+1))``, with a single
+underflow bucket for values at or below ``min_value``.  Because the
+bucket edges are a pure function of the constructor parameters, the
+histogram is **insertion-order invariant**: the same multiset of
+observations produces bit-identical buckets, percentiles and snapshots
+no matter how it is streamed in or how many partial histograms are
+:meth:`merged <StreamingHistogram.merge>` together.  That property is
+what lets the profiling layer aggregate spans across transient steps,
+runs and (eventually) service workers without a total-ordering step.
+
+Quantiles are bucket-resolved: ``quantile(q)`` walks the sorted buckets
+to the one holding the ``ceil(q * count)``-th observation and returns
+that bucket's geometric midpoint, so with the default ``growth`` of
+``2**0.25`` every percentile is exact to within ±9%.  Exact ``count``,
+``total``, ``min``, ``max`` and ``sum_sq`` are tracked alongside.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["StreamingHistogram"]
+
+# Default bucket family: quarter-octave buckets from 1 picosecond up.
+# 2**0.25 growth gives ~160 buckets across 12 decades — small enough to
+# serialize per span name, fine enough for single-digit-percent error.
+DEFAULT_GROWTH = 2.0 ** 0.25
+DEFAULT_MIN_VALUE = 1e-12
+
+
+class StreamingHistogram:
+    """Deterministic mergeable histogram over non-negative values."""
+
+    __slots__ = ("growth", "min_value", "_log_growth", "counts",
+                 "count", "total", "sum_sq", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH,
+                 min_value: float = DEFAULT_MIN_VALUE) -> None:
+        if not growth > 1.0:
+            raise ValueError(f"growth must be > 1, got {growth!r}")
+        if not min_value > 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value!r}")
+        self.growth = float(growth)
+        self.min_value = float(min_value)
+        self._log_growth = math.log(self.growth)
+        # bucket index -> observation count; index -1 is the underflow
+        # bucket (values <= min_value, including exact zeros).
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket covering ``value`` (-1 = underflow)."""
+        if value <= self.min_value:
+            return -1
+        idx = int(math.floor(math.log(value / self.min_value)
+                             / self._log_growth))
+        # Guard the open/closed boundary against float rounding: keep
+        # the invariant lower_bound(idx) <= value < lower_bound(idx+1).
+        while self.bucket_bounds(idx)[0] > value:
+            idx -= 1
+        while value >= self.bucket_bounds(idx)[1]:
+            idx += 1
+        return idx
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``(low, high)`` bounds of bucket ``index``."""
+        if index < 0:
+            return (0.0, self.min_value)
+        return (self.min_value * self.growth ** index,
+                self.min_value * self.growth ** (index + 1))
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold one non-negative observation into the histogram."""
+        v = float(value)
+        if v < 0.0 or v != v:
+            raise ValueError(f"histogram values must be >= 0, got {value!r}")
+        idx = self.bucket_index(v)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.total += v
+        self.sum_sq += v * v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` into ``self`` (same bucket family required)."""
+        if (other.growth != self.growth
+                or other.min_value != self.min_value):
+            raise ValueError(
+                "cannot merge histograms with different bucket families: "
+                f"growth {self.growth!r} vs {other.growth!r}, "
+                f"min_value {self.min_value!r} vs {other.min_value!r}")
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.sum_sq += other.sum_sq
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """Value at quantile ``q`` in [0, 1], bucket-resolved.
+
+        Returns the geometric midpoint of the bucket containing the
+        ``ceil(q * count)``-th smallest observation; exact ``min``/
+        ``max`` are returned at the extremes so reported percentiles
+        never lie outside the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        if q == 0.0:
+            return self.min
+        rank = min(self.count, max(1, int(math.ceil(q * self.count))))
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                lo, hi = self.bucket_bounds(idx)
+                if idx < 0:
+                    mid = lo if lo > 0.0 else hi / 2.0
+                else:
+                    mid = math.sqrt(lo * hi)
+                # Clamp into the observed range so p99 of a two-sample
+                # histogram cannot exceed the true max.
+                if self.min is not None and mid < self.min:
+                    mid = self.min
+                if self.max is not None and mid > self.max:
+                    mid = self.max
+                return mid
+        return self.max  # pragma: no cover - unreachable (seen==count)
+
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def stddev(self) -> Optional[float]:
+        """Population standard deviation from exact running moments."""
+        if self.count == 0:
+            return None
+        mu = self.total / self.count
+        var = self.sum_sq / self.count - mu * mu
+        return math.sqrt(var) if var > 0.0 else 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready summary with deterministic key/bucket ordering."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "stddev": self.stddev(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> dict:
+        """Full lossless serialization (snapshot + bucket counts)."""
+        out = self.snapshot()
+        out["growth"] = self.growth
+        out["min_value"] = self.min_value
+        out["sum_sq"] = self.sum_sq
+        out["buckets"] = [[idx, self.counts[idx]]
+                          for idx in sorted(self.counts)]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingHistogram":
+        """Inverse of :meth:`to_dict` (exact round trip)."""
+        h = cls(growth=data["growth"], min_value=data["min_value"])
+        h.counts = {int(idx): int(n) for idx, n in data["buckets"]}
+        h.count = int(data["count"])
+        h.total = float(data["total"])
+        h.sum_sq = float(data["sum_sq"])
+        h.min = data["min"]
+        h.max = data["max"]
+        return h
+
+    def __repr__(self) -> str:
+        return (f"StreamingHistogram(count={self.count}, "
+                f"p50={self.quantile(0.5)!r}, max={self.max!r})")

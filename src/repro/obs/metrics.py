@@ -47,28 +47,65 @@ class Metrics:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Fold ``value`` into the running count/total/min/max of
+        """Fold ``value`` into the running count/total/min/max/sum_sq of
         ``name`` (distribution summaries, e.g. schedule level widths)."""
         st = self.stats.get(name)
         if st is None:
             self.stats[name] = {
                 "count": 1, "total": value, "min": value, "max": value,
+                "sum_sq": value * value,
             }
         else:
             st["count"] += 1
             st["total"] += value
+            st["sum_sq"] += value * value
             if value < st["min"]:
                 st["min"] = value
             if value > st["max"]:
                 st["max"] = value
 
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold another registry into this one (counters add, gauges
+        last-write-wins from ``other``, stats combine exactly) — used to
+        aggregate per-step registries across a sequence."""
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        self.gauges.update(other.gauges)
+        for k, st in other.stats.items():
+            mine = self.stats.get(k)
+            if mine is None:
+                self.stats[k] = dict(st)
+            else:
+                mine["count"] += st["count"]
+                mine["total"] += st["total"]
+                mine["sum_sq"] += st["sum_sq"]
+                if st["min"] < mine["min"]:
+                    mine["min"] = st["min"]
+                if st["max"] > mine["max"]:
+                    mine["max"] = st["max"]
+        return self
+
     # ------------------------------------------------------------------
+    @staticmethod
+    def _stat_summary(st: Dict[str, float]) -> Dict[str, float]:
+        """Derived mean/stddev folded into a stat dict, fixed key order."""
+        n = st["count"]
+        mean = st["total"] / n
+        var = st["sum_sq"] / n - mean * mean
+        stddev = var ** 0.5 if var > 0.0 else 0.0
+        return {
+            "count": st["count"], "total": st["total"],
+            "min": st["min"], "max": st["max"], "sum_sq": st["sum_sq"],
+            "mean": mean, "stddev": stddev,
+        }
+
     def snapshot(self) -> dict:
         """JSON-ready copy with deterministically sorted keys."""
         return {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
-            "stats": {k: dict(self.stats[k]) for k in sorted(self.stats)},
+            "stats": {k: self._stat_summary(self.stats[k])
+                      for k in sorted(self.stats)},
         }
 
 
@@ -88,6 +125,9 @@ class NullMetrics:
 
     def observe(self, name: str, value: float) -> None:
         pass
+
+    def merge(self, other) -> "NullMetrics":
+        return self
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "stats": {}}

@@ -28,7 +28,7 @@ than to absolute hardware specs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
@@ -87,6 +87,34 @@ class MachineModel:
     def validate_threads(self, p: int) -> None:
         if p < 1 or p > self.max_cores:
             raise ValueError(f"{self.name} supports 1..{self.max_cores} cores, got {p}")
+
+    def calibrated(self, name: str | None = None, **coefficients: float) -> "MachineModel":
+        """A copy with cost coefficients replaced by fitted values.
+
+        ``coefficients`` maps cost-coefficient field names (``t_*`` or
+        the ``l*_spill_penalty`` fractions) to new non-negative values;
+        structural fields (``max_cores``, cache sizes) are not
+        calibratable and are rejected.  Used by
+        :mod:`repro.obs.calibrate` to produce a model whose modeled
+        seconds track measured wall seconds on this host.
+        """
+        calibratable = {
+            f.name for f in fields(self)
+            if f.name.startswith("t_") or f.name.endswith("_spill_penalty")
+        }
+        for key, value in coefficients.items():
+            if key not in calibratable:
+                raise ValueError(
+                    f"{key!r} is not a calibratable MachineModel coefficient "
+                    f"(expected one of {sorted(calibratable)})")
+            v = float(value)
+            if not np.isfinite(v) or v < 0.0:
+                raise ValueError(f"coefficient {key}={value!r} must be finite and >= 0")
+        return replace(
+            self,
+            name=name if name is not None else f"{self.name}+calibrated",
+            **{k: float(v) for k, v in coefficients.items()},
+        )
 
 
 # Calibrated parameter sets.  Absolute scales are arbitrary (simulated

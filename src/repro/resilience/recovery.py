@@ -181,6 +181,7 @@ def run_ladder(
             if not ok:
                 return None
             metrics.incr(f"resilience.rung.{rung}.success")
+            metrics.observe("resilience.ladder.attempts", float(len(report.attempts)))
             report.succeeded = rung
             report.backward_error = float(berr)
             return x, numeric
@@ -260,6 +261,7 @@ def run_ladder(
         return out[0], out[1], report
 
     metrics.incr("resilience.exhausted")
+    metrics.observe("resilience.ladder.attempts", float(len(report.attempts)))
     raise RecoveryExhaustedError(
         f"recovery ladder exhausted after {len(report.attempts)} attempt(s)"
         + (f" on {label}" if label else ""),

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import NumericalHealthError, RecoveryExhaustedError, ReproError
 from ..obs.tracer import get_tracer
+from ..parallel.ledger import CostLedger
 from ..resilience.recovery import run_ladder
 from ..solvers.klu import KLU
 from ..sparse.csc import CSC
@@ -86,6 +87,8 @@ def run_transient(
     recovery: bool = False,
     dt_min: Optional[float] = None,
     recovery_tol: float = 1e-10,
+    flight=None,
+    flight_machine=None,
 ) -> TransientResult:
     """Integrate the circuit with backward Euler or the trapezoidal rule.
 
@@ -105,6 +108,13 @@ def run_transient(
     :class:`~repro.errors.RecoveryExhaustedError` propagates.  Ladder
     runs and rejections are summarized in
     ``TransientResult.recovery_events`` / ``rejected_steps``.
+
+    Pass a :class:`~repro.obs.flight.FlightRecorder` as ``flight`` to
+    record one entry per *accepted* step: the step's factorization cost
+    (modeled seconds on ``flight_machine``, default SandyBridge),
+    health gauges, metric counter deltas, and any recovery events the
+    step triggered.  Each step's Newton iterations are also grouped
+    under a ``transient.step`` span when tracing is enabled.
     """
     n = circuit.n_unknowns
     x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
@@ -123,7 +133,12 @@ def run_transient(
     make_variant = lambda **ov: KLU(**ov)  # noqa: E731 — ladder variant factory
     symbolic = None
     dyn_state: dict = {}
-    metrics = get_tracer().metrics
+    tracer = get_tracer()
+    metrics = tracer.metrics
+    if flight is not None and flight_machine is None:
+        from ..parallel.machine import SANDY_BRIDGE
+        flight_machine = SANDY_BRIDGE
+    ev_mark = 0
 
     t = 0.0
     step_dt_next = dt
@@ -138,54 +153,61 @@ def run_transient(
         # Trapezoidal startup: the first step runs backward Euler and
         # seeds the device history (the unknown initial currents).
         step_method = "be" if (method == "trap" and not times[1:]) else method
-        for it in range(1, max_newton + 1):
-            J, F = circuit.assemble(x, x_prev, t_next, step_dt, method=step_method, state=dyn_state)
-            if record_matrices and (max_matrices is None or len(matrices) < max_matrices):
-                matrices.append(J)
-            if symbolic is None:
-                symbolic = klu.analyze(J)
-            if not recovery:
-                numeric = klu.factor(J, symbolic=symbolic)
-                dx = klu.solve(numeric, -F)
-            else:
-                try:
+        step_ledger = CostLedger()
+        with tracer.span("transient.step") as step_sp:
+            if tracer.enabled:
+                step_sp.set(t=t_next)
+            for it in range(1, max_newton + 1):
+                J, F = circuit.assemble(x, x_prev, t_next, step_dt, method=step_method, state=dyn_state)
+                if record_matrices and (max_matrices is None or len(matrices) < max_matrices):
+                    matrices.append(J)
+                if symbolic is None:
+                    symbolic = klu.analyze(J)
+                if not recovery:
                     numeric = klu.factor(J, symbolic=symbolic)
+                    step_ledger.add(numeric.ledger)
                     dx = klu.solve(numeric, -F)
-                    if not np.all(np.isfinite(dx)):
-                        raise NumericalHealthError(
-                            "Newton update contains non-finite values", what="solve"
-                        )
-                except ReproError as exc:
+                else:
                     try:
-                        dx, _num, report = run_ladder(
-                            klu, J, -F,
-                            symbolic=symbolic,
-                            make_variant=make_variant,
-                            tol=recovery_tol,
-                            label=f"t={t_next:g}",
-                        )
-                        recovery_events.append(
-                            {"t": t_next, "newton_iter": it, "trigger": type(exc).__name__,
-                             **report.to_dict()}
-                        )
-                    except RecoveryExhaustedError as exhausted:
-                        recovery_events.append(
-                            {"t": t_next, "newton_iter": it,
-                             "trigger": type(exc).__name__, "ok": False,
-                             "attempts": [a.to_dict() for a in exhausted.attempts]}
-                        )
-                        failure = exhausted
-                        break
-            # SPICE-style step limiting keeps the diode exponentials in
-            # Newton's basin of attraction.
-            big = float(np.max(np.abs(dx), initial=0.0))
-            if big > max_dx:
-                dx = dx * (max_dx / big)
-            x = x + dx
-            if float(np.max(np.abs(dx), initial=0.0)) < newton_tol * (1.0 + float(np.max(np.abs(x)))):
-                ok = True
-                iters.append(it)
-                break
+                        numeric = klu.factor(J, symbolic=symbolic)
+                        step_ledger.add(numeric.ledger)
+                        dx = klu.solve(numeric, -F)
+                        if not np.all(np.isfinite(dx)):
+                            raise NumericalHealthError(
+                                "Newton update contains non-finite values", what="solve"
+                            )
+                    except ReproError as exc:
+                        try:
+                            dx, _num, report = run_ladder(
+                                klu, J, -F,
+                                symbolic=symbolic,
+                                make_variant=make_variant,
+                                tol=recovery_tol,
+                                label=f"t={t_next:g}",
+                            )
+                            step_ledger.add(report.ledger)
+                            recovery_events.append(
+                                {"t": t_next, "newton_iter": it, "trigger": type(exc).__name__,
+                                 **report.to_dict()}
+                            )
+                        except RecoveryExhaustedError as exhausted:
+                            recovery_events.append(
+                                {"t": t_next, "newton_iter": it,
+                                 "trigger": type(exc).__name__, "ok": False,
+                                 "attempts": [a.to_dict() for a in exhausted.attempts]}
+                            )
+                            failure = exhausted
+                            break
+                # SPICE-style step limiting keeps the diode exponentials in
+                # Newton's basin of attraction.
+                big = float(np.max(np.abs(dx), initial=0.0))
+                if big > max_dx:
+                    dx = dx * (max_dx / big)
+                x = x + dx
+                if float(np.max(np.abs(dx), initial=0.0)) < newton_tol * (1.0 + float(np.max(np.abs(x)))):
+                    ok = True
+                    iters.append(it)
+                    break
         if failure is not None:
             # Reject the step: roll back and retry at half the step.
             rejected += 1
@@ -211,6 +233,15 @@ def run_transient(
         times.append(t)
         states.append(x.copy())
         step_dt_next = dt
+        if flight is not None:
+            flight.record_step(
+                step=len(times) - 2,
+                modeled_s=flight_machine.seconds(step_ledger),
+                wall_s=getattr(step_sp, "wall_seconds", None),
+                events=recovery_events[ev_mark:],
+                metrics=metrics,
+            )
+            ev_mark = len(recovery_events)
 
     return TransientResult(
         times=np.asarray(times),
@@ -236,6 +267,8 @@ def run_transient_adaptive(
     shrink: float = 0.4,
     target_iters: int = 6,
     x0: np.ndarray | None = None,
+    flight=None,
+    flight_machine=None,
 ) -> TransientResult:
     """Transient with Xyce-style iteration-count step control.
 
@@ -244,6 +277,11 @@ def run_transient_adaptive(
     the step shrinks; if it fails to converge the step is rejected and
     retried at ``shrink * dt`` (down to ``dt_min``, where the step is
     accepted with a warning flag just like fixed-step mode).
+
+    ``flight``/``flight_machine`` record one
+    :class:`~repro.obs.flight.FlightRecorder` entry per accepted step,
+    as in :func:`run_transient`; rejected inner retries fold into the
+    accepted step's cost.
     """
     n = circuit.n_unknowns
     dt_min = dt_min if dt_min is not None else dt0 / 256.0
@@ -256,40 +294,56 @@ def run_transient_adaptive(
     converged = True
     klu = KLU()
     symbolic = None
+    tracer = get_tracer()
+    if flight is not None and flight_machine is None:
+        from ..parallel.machine import SANDY_BRIDGE
+        flight_machine = SANDY_BRIDGE
 
     t, dt = 0.0, dt0
     while t < t_end - 1e-15:
         dt = min(dt, t_end - t)
         x_prev = x.copy()
-        while True:
-            x_try = x_prev.copy()
-            ok = False
-            used = max_newton
-            for it in range(1, max_newton + 1):
-                J, F = circuit.assemble(x_try, x_prev, t + dt, dt)
-                matrices.append(J)
-                if symbolic is None:
-                    symbolic = klu.analyze(J)
-                numeric = klu.factor(J, symbolic=symbolic)
-                dx = klu.solve(numeric, -F)
-                big = float(np.max(np.abs(dx), initial=0.0))
-                if big > max_dx:
-                    dx = dx * (max_dx / big)
-                x_try = x_try + dx
-                if big < newton_tol * (1.0 + float(np.max(np.abs(x_try)))):
-                    ok = True
-                    used = it
+        step_ledger = CostLedger()
+        with tracer.span("transient.step") as step_sp:
+            if tracer.enabled:
+                step_sp.set(t=t + dt)
+            while True:
+                x_try = x_prev.copy()
+                ok = False
+                used = max_newton
+                for it in range(1, max_newton + 1):
+                    J, F = circuit.assemble(x_try, x_prev, t + dt, dt)
+                    matrices.append(J)
+                    if symbolic is None:
+                        symbolic = klu.analyze(J)
+                    numeric = klu.factor(J, symbolic=symbolic)
+                    step_ledger.add(numeric.ledger)
+                    dx = klu.solve(numeric, -F)
+                    big = float(np.max(np.abs(dx), initial=0.0))
+                    if big > max_dx:
+                        dx = dx * (max_dx / big)
+                    x_try = x_try + dx
+                    if big < newton_tol * (1.0 + float(np.max(np.abs(x_try)))):
+                        ok = True
+                        used = it
+                        break
+                if ok or dt <= dt_min * (1 + 1e-12):
+                    if not ok:
+                        converged = False
                     break
-            if ok or dt <= dt_min * (1 + 1e-12):
-                if not ok:
-                    converged = False
-                break
-            dt = max(dt * shrink, dt_min)  # reject and retry smaller
+                dt = max(dt * shrink, dt_min)  # reject and retry smaller
         x = x_try
         t += dt
         times.append(t)
         states.append(x.copy())
         iters.append(used)
+        if flight is not None:
+            flight.record_step(
+                step=len(times) - 2,
+                modeled_s=flight_machine.seconds(step_ledger),
+                wall_s=getattr(step_sp, "wall_seconds", None),
+                metrics=get_tracer().metrics,
+            )
         # Step-size controller.
         if used <= max(2, target_iters // 2):
             dt = min(dt * grow, dt_max)

@@ -1,6 +1,7 @@
 """Unit tests for :mod:`repro.obs` — tracer, metrics, exporters."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -164,7 +165,14 @@ def test_metrics_counters_gauges_stats():
     snap = m.snapshot()
     assert snap["counters"] == {"hits": 3}
     assert snap["gauges"] == {"blocks": 9}
-    assert snap["stats"]["width"] == {"count": 3, "total": 11, "min": 1, "max": 6}
+    width = snap["stats"]["width"]
+    assert width["count"] == 3
+    assert width["total"] == 11
+    assert width["min"] == 1
+    assert width["max"] == 6
+    assert width["sum_sq"] == 53  # 16 + 1 + 36
+    assert width["mean"] == pytest.approx(11 / 3)
+    assert width["stddev"] == pytest.approx(math.sqrt(53 / 3 - (11 / 3) ** 2))
 
 
 def test_metrics_snapshot_sorted_and_json_stable():
