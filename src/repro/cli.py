@@ -28,6 +28,12 @@ Small utilities a downstream user reaches for first:
   plus the Xyce refactorization sequence), written to
   ``BENCH_wallclock.json``; ``--check`` gates speedup ratios against
   the committed baseline.
+* ``serve`` — deterministic multi-tenant soak of the fault-tolerant
+  solve service (bounded admission, token-bucket rate limits, modeled
+  deadlines, seeded retries, shared pattern cache with leases,
+  per-pattern circuit breakers, degradation tiers), writing
+  ``SERVE_report.json``; ``--check-golden`` gates byte-identity against
+  the committed golden report.
 """
 
 from __future__ import annotations
@@ -722,6 +728,74 @@ def _cmd_profile(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve``: deterministic multi-tenant soak of the solve
+    service — admission control, deadlines, retries, cache eviction,
+    circuit breaking, degradation tiers — writing SERVE_report.json and
+    gating on the report's invariants (and optionally a golden copy)."""
+    import json
+
+    from .bench.report import format_table
+    from .serve.sim import default_tenants, run_soak, report_to_json
+
+    specs = default_tenants(args.requests)
+    if args.tenants < len(specs):
+        specs = specs[: args.tenants]
+    report = run_soak(specs=specs, seed=args.seed, n_faults=args.faults)
+    text = report_to_json(report)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    if args.write_golden:
+        with open(args.write_golden, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote golden {args.write_golden}", file=sys.stderr)
+
+    golden_ok = True
+    if args.check_golden:
+        with open(args.check_golden, "r", encoding="utf-8") as fh:
+            golden_ok = fh.read() == text
+    ok = bool(report["ok"]) and golden_ok
+
+    if args.format == "json":
+        print(json.dumps({**report, "golden_ok": golden_ok, "ok": ok},
+                         indent=2, sort_keys=True))
+    else:
+        rows = [
+            [name, acct["accepted"], acct["rejected"],
+             _fmt_q(acct["latency"], "p50"), _fmt_q(acct["latency"], "p95"),
+             _fmt_q(acct["latency"], "p99"),
+             f"{acct['modeled_seconds']:.3e}"]
+            for name, acct in sorted(report["per_tenant"].items())
+        ]
+        print(format_table(
+            ["tenant", "accepted", "rejected", "lat p50", "lat p95",
+             "lat p99", "modeled_s"],
+            rows,
+            title=f"serve soak: {report['n_requests']} request(s), "
+                  f"seed={report['seed']}, "
+                  f"{len(report['tenants'])} tenant(s)"))
+        print(f"rejects: " + (", ".join(
+            f"{k}={v}" for k, v in report["reject_reasons"].items()) or "none"))
+        print(f"shed={report['shed_total']:g} retries={report['retries']:g} "
+              f"breaker trips/resets/reopens="
+              f"{report['breaker_totals']['trips']}/"
+              f"{report['breaker_totals']['resets']}/"
+              f"{report['breaker_totals']['reopens']}")
+        inv = report["invariants"]
+        print(f"invariants: untyped={len(inv['untyped_escapes'])} "
+              f"unverified={len(inv['unverified_answers'])} "
+              f"queue_bound={'OK' if inv['queue_bound_respected'] else 'FAIL'}")
+        if args.check_golden:
+            print(f"golden vs {args.check_golden}: "
+                  f"{'OK' if golden_ok else 'MISMATCH'}")
+        if args.output:
+            print(f"wrote {args.output}")
+        print(f"serve: {'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
     from .bench.wallclock import (
         SPEEDUP_FLOORS,
@@ -897,6 +971,29 @@ def main(argv=None) -> int:
     p.add_argument("--format", choices=["human", "json"], default="human")
     p.add_argument("--output", help="also write the findings JSON to this path")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("serve",
+                       help="deterministic multi-tenant soak of the solve "
+                            "service (admission, deadlines, retries, "
+                            "breakers, degradation tiers)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="total request budget across tenants (default 200)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="number of tenant profiles to run (default 4: "
+                        "transient, sweep, chaos, latency)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="soak seed: traffic, faults, retries (default 42)")
+    p.add_argument("--faults", type=int, default=4,
+                   help="injected kernel faults via a seeded FaultPlan "
+                        "(default 4; 0 disables)")
+    p.add_argument("--output", default="SERVE_report.json",
+                   help="report path (default: SERVE_report.json)")
+    p.add_argument("--check-golden", metavar="FILE",
+                   help="fail unless the report is byte-identical to FILE")
+    p.add_argument("--write-golden", metavar="FILE",
+                   help="also write the report as a new golden copy")
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("bench", help="wall-clock microbenchmarks + regression gate")
     p.add_argument("--quick", action="store_true",

@@ -21,11 +21,25 @@ __all__ = [
     "RefinementDivergedError",
     "RecoveryExhaustedError",
     "FaultInjectionError",
+    "AdmissionRejectedError",
+    "DeadlineExceededError",
+    "CacheInvalidatedError",
+    "CircuitOpenError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    ``retryable`` classifies the error for the serving layer's retry
+    policy: ``True`` means the same request may succeed if simply
+    re-submitted (a transient numerical upset, a cache entry evicted
+    under the borrower), ``False`` means retrying cannot help (a
+    structural precondition violation, an exhausted recovery ladder, an
+    explicit admission rejection).
+    """
+
+    retryable = False
 
 
 class SingularMatrixError(ReproError, ValueError):
@@ -67,7 +81,14 @@ class AnalysisError(ReproError, ValueError):
 class NumericalHealthError(ReproError, ArithmeticError):
     """A numerical-health check failed: non-finite values in factors or
     solutions, pathological pivot growth, or an unusable condition
-    estimate.  ``what`` names the check that tripped."""
+    estimate.  ``what`` names the check that tripped.
+
+    Retryable: a health failure on one request is frequently transient
+    (a fault, a bad step) and a re-submission re-enters the recovery
+    ladder from a pristine input.
+    """
+
+    retryable = True
 
     def __init__(self, message: str, what: str = ""):
         super().__init__(message)
@@ -97,3 +118,59 @@ class RecoveryExhaustedError(ReproError, RuntimeError):
 class FaultInjectionError(ReproError, ValueError):
     """A fault plan is malformed: unknown injection site or fault kind,
     out-of-range parameters, or nested plan activation."""
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """The serving layer refused to accept a request: the bounded
+    admission queue is full, the tenant's token bucket is empty, or the
+    service is shedding load in a degraded tier.  ``reason`` is one of
+    the :data:`~repro.serve.service.REJECT_REASONS` slugs; ``tenant``
+    names the submitting tenant."""
+
+    def __init__(self, message: str, reason: str = "", tenant: str = ""):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A request's modeled (or wall) deadline expired.
+
+    Raised *at admission* when the cost estimate from the symbolic
+    analysis already exceeds the budget (``report`` is None: no
+    factorization ever started), or *mid-ladder* when accumulated
+    modeled work crosses the deadline between recovery rungs
+    (``report`` carries the partial
+    :class:`~repro.resilience.recovery.RecoveryReport`)."""
+
+    def __init__(self, message: str, deadline_s: float = 0.0,
+                 elapsed_s: float = 0.0, report=None):
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.report = report
+
+
+class CacheInvalidatedError(ReproError, RuntimeError):
+    """A borrowed cache entry was evicted or explicitly invalidated
+    while the borrower still held its lease.  Retryable: re-submitting
+    re-borrows (and, if needed, recomputes) a fresh entry instead of
+    silently recomputing under the stale lease."""
+
+    retryable = True
+
+    def __init__(self, message: str, key: str = "", generation: int = -1):
+        super().__init__(message)
+        self.key = key
+        self.generation = generation
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """The per-pattern circuit breaker is open and the degraded tier
+    cannot absorb an isolated solve, so the request is rejected instead
+    of thrashing the shared cache.  ``key`` is the pattern hash."""
+
+    def __init__(self, message: str, key: str = "", trips: int = 0):
+        super().__init__(message)
+        self.key = key
+        self.trips = trips

@@ -134,6 +134,7 @@ class DirectSolver:
         tol: float = 1e-10,
         refine_steps: int = 4,
         label: str = "",
+        before_rung=None,
     ):
         """Solve through the recovery ladder (see
         :func:`repro.resilience.recovery.run_ladder`).
@@ -145,7 +146,9 @@ class DirectSolver:
         its componentwise backward error before acceptance.  Returns
         ``(x, report)``; raises
         :class:`~repro.errors.RecoveryExhaustedError` when every rung
-        fails.
+        fails.  ``before_rung(rung, report)`` is forwarded to
+        :func:`~repro.resilience.recovery.run_ladder` for deadline or
+        lease checks between rungs.
         """
         from .resilience.recovery import run_ladder
 
@@ -172,6 +175,7 @@ class DirectSolver:
             tol=tol,
             refine_steps=refine_steps,
             label=label,
+            before_rung=before_rung,
         )
         if numeric is not None:
             self._numeric = numeric

@@ -46,8 +46,12 @@ __all__ = [
 ]
 
 # Counter suffixes that mark a counter as belonging to a cache family:
-# "schedule.tri.hit" -> family "schedule.tri".
-_CACHE_SUFFIXES = (".hit", ".miss", ".invalidate")
+# "schedule.tri.hit" -> family "schedule.tri".  ".evictions" extends the
+# standard families to the serving layer's shared pattern cache
+# ("cache.hit" / "cache.miss" / "cache.evictions") and the sparse
+# schedule caches dropped by an eviction hook — an eviction counts as a
+# regression event exactly like a miss or an invalidation.
+_CACHE_SUFFIXES = (".hit", ".miss", ".invalidate", ".evictions")
 
 
 class FlightRecorder:
@@ -228,7 +232,8 @@ def detect_cache_hit_drop(records: List[dict], warmup: int = 2) -> List[dict]:
             deltas = rec.get("deltas", {})
             hits = deltas.get(fam + ".hit", 0)
             misses = (deltas.get(fam + ".miss", 0)
-                      + deltas.get(fam + ".invalidate", 0))
+                      + deltas.get(fam + ".invalidate", 0)
+                      + deltas.get(fam + ".evictions", 0))
             if seen_hit and i >= warmup and misses > 0:
                 events.append({
                     "event": "obs.anomaly.cache_hit_drop",

@@ -118,6 +118,7 @@ def run_ladder(
     tol: float = 1e-10,
     refine_steps: int = 4,
     label: str = "",
+    before_rung: Optional[Callable[[str, RecoveryReport], None]] = None,
 ) -> Tuple[np.ndarray, Optional[object], RecoveryReport]:
     """Escalate through the recovery ladder until a verified solve.
 
@@ -137,6 +138,15 @@ def run_ladder(
         rungs reuse ``impl`` (still with a fresh symbolic analysis).
     tol
         Componentwise backward-error acceptance threshold.
+    before_rung
+        Optional hook ``before_rung(rung_name, report)`` invoked before
+        each rung attempt, *outside* the rung's error handling: anything
+        it raises propagates out of the ladder immediately with the
+        partial ``report`` still consistent.  The serving layer uses it
+        to enforce modeled deadlines mid-ladder
+        (:class:`~repro.errors.DeadlineExceededError` carrying the
+        partial report) and to detect cache-lease invalidation between
+        rungs.
 
     Returns ``(x, numeric, report)`` — ``numeric`` is the accepted
     factorization when the winning rung produced an ``impl``-compatible
@@ -150,6 +160,8 @@ def run_ladder(
     b64 = validate_rhs(b, A.n_rows)
 
     def attempt(rung: str, fn) -> Optional[Tuple[np.ndarray, Optional[object]]]:
+        if before_rung is not None:
+            before_rung(rung, report)
         metrics.incr("resilience.attempts")
         metrics.incr(f"resilience.rung.{rung}.attempts")
         with tr.span(f"resilience.rung.{rung}") as sp:

@@ -1,0 +1,135 @@
+"""Per-pattern circuit breaker for the shared solve cache.
+
+Circuit-simulation traffic resubmits the same matrix pattern thousands
+of times, so one *pathological* pattern — values that keep collapsing
+reused pivots, a tenant stamping garbage — can dominate a shared cache:
+every request escalates through the recovery ladder, repeatedly
+invalidating and recompiling the pattern's schedules while healthy
+tenants wait.  The breaker isolates that pattern instead.
+
+State machine (classic closed/open/half-open, driven entirely by the
+deterministic modeled clock):
+
+* ``closed`` — normal operation.  Every recovery-ladder *escalation*
+  (the winning rung was beyond ``refactor``, or the ladder exhausted)
+  increments a consecutive-escalation counter; a clean solve resets it.
+  ``trip_threshold`` consecutive escalations trip the breaker.
+* ``open`` — the pattern is quarantined: requests for it bypass the
+  shared cache entirely (isolated ``solve_resilient``-style solves
+  with a private symbolic analysis), so the shared entry stops
+  thrashing.  After ``cooldown_s`` modeled seconds the breaker lets one
+  probe through.
+* ``half_open`` — the probe runs on the shared-cache path.  A clean
+  solve closes the breaker (reset); another escalation re-opens it and
+  restarts the cooldown.
+
+Every transition is counted (``serve.breaker.trip`` /
+``serve.breaker.reset`` / ``serve.breaker.reopen``) and surfaced to the
+flight recorder by the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["BreakerConfig", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one pattern's breaker."""
+
+    trip_threshold: int = 3      # consecutive escalations that trip
+    cooldown_s: float = 0.05     # modeled seconds open before a probe
+
+    def validate(self) -> None:
+        if self.trip_threshold < 1:
+            raise ValueError("trip_threshold must be >= 1")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+@dataclass
+class CircuitBreaker:
+    """Breaker for one pattern key; all times are modeled seconds."""
+
+    config: BreakerConfig = field(default_factory=BreakerConfig)
+    state: str = CLOSED
+    consecutive_escalations: int = 0
+    opened_at_s: float = 0.0
+    trips: int = 0
+    resets: int = 0
+    reopens: int = 0
+    transitions: List[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def _transition(self, now_s: float, to: str, why: str) -> None:
+        self.transitions.append({
+            "event": "serve.breaker",
+            "at_s": float(now_s),
+            "from": self.state,
+            "to": to,
+            "why": why,
+        })
+        self.state = to
+
+    # ------------------------------------------------------------------
+    def allows_shared(self, now_s: float) -> bool:
+        """May this request use the shared-cache path right now?
+
+        An ``open`` breaker whose cooldown has elapsed moves to
+        ``half_open`` and admits exactly this request as the probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_s >= self.opened_at_s + self.config.cooldown_s:
+                self._transition(now_s, HALF_OPEN, "cooldown elapsed")
+                return True
+            return False
+        # half_open: one probe is already in flight this modeled instant;
+        # further requests stay isolated until the probe resolves.
+        return False
+
+    # ------------------------------------------------------------------
+    def record_success(self, now_s: float) -> Optional[str]:
+        """A shared-path solve finished without escalation."""
+        self.consecutive_escalations = 0
+        if self.state == HALF_OPEN:
+            self.resets += 1
+            self._transition(now_s, CLOSED, "probe succeeded")
+            return "reset"
+        return None
+
+    def record_escalation(self, now_s: float) -> Optional[str]:
+        """A shared-path solve needed the deep ladder (or exhausted it)."""
+        if self.state == HALF_OPEN:
+            self.reopens += 1
+            self.opened_at_s = now_s
+            self._transition(now_s, OPEN, "probe escalated")
+            return "reopen"
+        self.consecutive_escalations += 1
+        if (self.state == CLOSED
+                and self.consecutive_escalations >= self.config.trip_threshold):
+            self.trips += 1
+            self.opened_at_s = now_s
+            self._transition(now_s, OPEN,
+                             f"{self.consecutive_escalations} consecutive "
+                             "escalations")
+            return "trip"
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "resets": self.resets,
+            "reopens": self.reopens,
+            "consecutive_escalations": self.consecutive_escalations,
+        }

@@ -1,0 +1,99 @@
+"""In-process clients for :class:`~repro.serve.service.SolverService`.
+
+Two clients share one call shape, so code written against the
+deterministic in-process client runs unchanged against the thread-pool
+variant:
+
+* :class:`ServeClient` — direct, synchronous, bit-deterministic.  This
+  is what the traffic simulator and the CI soak drive.
+* :class:`ThreadedServeClient` — submits through a
+  ``concurrent.futures.ThreadPoolExecutor``.  The service's internal
+  locking (admission, queue, cache, breakers, metrics) keeps every
+  invariant intact under concurrent submission; modeled *ordering*
+  follows thread interleaving, so results are correct and typed but not
+  byte-reproducible.  Exists to prove the envelope is actually
+  concurrency-safe, and as the template for a real multi-worker
+  deployment.
+
+Both clients re-raise the service's typed errors unchanged — a caller
+sees exactly :class:`~repro.errors.AdmissionRejectedError`,
+:class:`~repro.errors.DeadlineExceededError`,
+:class:`~repro.errors.CircuitOpenError`, or the final solve failure.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from ..sparse.csc import CSC
+from .service import SolveRequest, SolveResponse, SolverService
+
+__all__ = ["ServeClient", "ThreadedServeClient"]
+
+
+class ServeClient:
+    """Synchronous in-process client (the deterministic path)."""
+
+    def __init__(self, service: SolverService, tenant: str):
+        self.service = service
+        self.tenant = tenant
+        service.register_tenant(tenant)
+
+    def solve(
+        self,
+        A: CSC,
+        b: np.ndarray,
+        arrival_s: float = 0.0,
+        deadline_s: Optional[float] = None,
+        label: str = "",
+    ) -> SolveResponse:
+        """Solve ``A x = b``; raises the service's typed errors."""
+        return self.service.submit(SolveRequest(
+            tenant=self.tenant, A=A, b=b, arrival_s=arrival_s,
+            deadline_s=deadline_s, label=label))
+
+
+class ThreadedServeClient(ServeClient):
+    """Thread-pool client: same interface, futures under the hood.
+
+    ``solve`` stays synchronous (submit + wait) so the two clients are
+    drop-in interchangeable; ``solve_async`` exposes the future for
+    callers that want real overlap.  Use as a context manager or call
+    :meth:`shutdown`.
+    """
+
+    def __init__(self, service: SolverService, tenant: str,
+                 max_workers: int = 4):
+        super().__init__(service, tenant)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix=f"serve-{tenant}")
+
+    def solve_async(
+        self,
+        A: CSC,
+        b: np.ndarray,
+        arrival_s: float = 0.0,
+        deadline_s: Optional[float] = None,
+        label: str = "",
+    ) -> Future:
+        return self._pool.submit(
+            super().solve, A, b, arrival_s=arrival_s,
+            deadline_s=deadline_s, label=label)
+
+    def solve(self, A, b, arrival_s=0.0, deadline_s=None, label=""):
+        return self.solve_async(
+            A, b, arrival_s=arrival_s, deadline_s=deadline_s,
+            label=label).result()
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,108 @@
+"""Retry, deadline, and cost-estimation policy for the solve service.
+
+Retries are **seeded**: the jitter stream comes from one
+``numpy.random.default_rng`` created from the service seed, so a soak
+run replays bit-identically.  Classification is type-driven — every
+package error carries a ``retryable`` class attribute
+(:class:`~repro.errors.ReproError`), so the policy never string-matches
+exception text:
+
+* retryable — :class:`~repro.errors.NumericalHealthError` (transient
+  numerical upsets; a fresh submission re-enters the recovery ladder
+  from pristine inputs) and :class:`~repro.errors.CacheInvalidatedError`
+  (the borrowed entry was evicted mid-flight; re-borrowing rebuilds it).
+* never retried — :class:`~repro.errors.StructureError` (the input is
+  malformed; resubmitting the same bytes cannot help),
+  :class:`~repro.errors.SingularMatrixError` *after* the recovery
+  ladder exhausted (the ladder already tried every escalation,
+  including strict re-pivot and static perturbation), admission
+  rejections, and deadline expiries.
+
+Deadline cost estimation prices the work the request is *about* to do
+on the service's machine model: the per-pattern latency history when
+the cache has one (p95 of observed modeled service times), otherwise a
+conservative multiple of the symbolic-analysis ledger — symbolic cost
+is a structural lower bound on numeric cost, and the multiplier covers
+the factor + solve phases the analysis has not counted yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..contracts import effects
+from ..parallel.ledger import CostLedger
+from ..parallel.machine import MachineModel
+
+__all__ = ["RetryPolicy", "estimate_request_seconds", "SYMBOLIC_COST_MULTIPLIER"]
+
+# Numeric factorization + solve typically costs a small multiple of the
+# symbolic DFS work on circuit-class matrices; 3x keeps admission-time
+# deadline checks conservative without rejecting feasible requests.
+SYMBOLIC_COST_MULTIPLIER = 3.0
+
+
+@dataclass
+class RetryPolicy:
+    """Seeded exponential backoff with bounded retries.
+
+    ``backoff_s(attempt)`` returns
+    ``base * multiplier**attempt * (1 + U(-jitter, +jitter))`` where the
+    uniform draw comes from the policy's private seeded generator —
+    deterministic across runs, decorrelated across retries.
+    """
+
+    max_retries: int = 2
+    base_backoff_s: float = 0.002
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s < 0.0:
+            raise ValueError("base_backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """May ``exc`` (raised on 0-based ``attempt``) be retried?"""
+        if attempt >= self.max_retries:
+            return False
+        return bool(getattr(exc, "retryable", False))
+
+    def backoff_s(self, attempt: int) -> float:
+        """Modeled backoff before re-running 0-based retry ``attempt``."""
+        base = self.base_backoff_s * (self.multiplier ** attempt)
+        u = float(self._rng.uniform(-self.jitter, self.jitter))
+        return base * (1.0 + u)
+
+
+@effects(pure=True)
+def estimate_request_seconds(
+    machine: MachineModel,
+    symbolic_ledger: Optional[CostLedger] = None,
+    observed_s: Optional[float] = None,
+    multiplier: float = SYMBOLIC_COST_MULTIPLIER,
+) -> float:
+    """Admission-time estimate of one request's modeled service time.
+
+    Prefers the pattern's observed latency history (``observed_s``,
+    typically the cache entry's p95); falls back to pricing the
+    symbolic ledger and scaling by ``multiplier``.  Returns 0.0 when
+    neither source exists (first contact with a pattern before its
+    symbolic analysis ran) — admission then cannot pre-reject on the
+    deadline and mid-flight enforcement takes over.
+    """
+    if observed_s is not None:
+        return float(observed_s)
+    if symbolic_ledger is not None:
+        return multiplier * machine.seconds(symbolic_ledger)
+    return 0.0

@@ -1,0 +1,299 @@
+"""Deterministic traffic simulator and soak harness for the service.
+
+The simulator synthesizes the traffic shapes the paper's workloads
+imply — Xyce-style transient sequences (one pattern, thousands of
+values-only resubmissions) and power-grid N-1 contingency sweeps (one
+pattern, hundreds of single-outage value variants) — plus the shapes a
+*service* adds on top: seeded multi-tenant interleaving, overload
+bursts, tight deadlines, a pathological tenant whose matrix is
+numerically singular for part of the run (driving the recovery ladder
+to exhaustion and the pattern's circuit breaker through
+trip → open → half-open → reset), and injected kernel faults via
+:class:`~repro.resilience.faults.FaultPlan`.
+
+Everything derives from one seed through ``numpy.random.default_rng``
+spawns, and the service itself advances only on modeled time, so
+:func:`run_soak` produces a **byte-identical report** across runs and
+machines — the property the CI `serve` job gates on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..contracts import effects, shapes
+from ..errors import ReproError
+from ..matrices.powergrid import meshed_area_grid
+from ..resilience.faults import FaultPlan
+from ..sparse.csc import CSC
+from ..sparse.verify import componentwise_backward_error
+from ..xyce.circuits import rc_ladder
+from ..xyce.transient import matrix_sequence
+from .service import ServeConfig, SolveRequest, SolverService
+
+__all__ = ["TenantSpec", "build_traffic", "default_tenants", "run_soak",
+           "report_to_json"]
+
+WORKLOADS = ("xyce", "n1", "poison")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic profile.
+
+    ``workload`` picks the matrix stream: ``"xyce"`` (same-pattern
+    transient Jacobian sequence), ``"n1"`` (same-pattern outage sweep
+    over a meshed grid), ``"poison"`` (a numerically singular values
+    phase followed by a healthy phase — the breaker-exercise shape).
+    ``burst_every``/``burst_len`` inject arrival bursts: every
+    ``burst_every``-th request starts a run of ``burst_len`` arrivals
+    at 2% of the mean interarrival gap.
+    """
+
+    name: str
+    workload: str = "xyce"
+    n_requests: int = 50
+    mean_interarrival_s: float = 1e-3
+    deadline_s: Optional[float] = None
+    bucket_capacity: Optional[float] = None
+    bucket_refill_per_s: Optional[float] = None
+    burst_every: int = 0
+    burst_len: int = 6
+    # poison workload: requests before this index carry singular values
+    poison_until: int = 12
+
+    def validate(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; known: {WORKLOADS}")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.mean_interarrival_s <= 0.0:
+            raise ValueError("mean_interarrival_s must be > 0")
+
+
+@effects(pure=True)
+@shapes(returns="csc[4,4]")
+def _poison_matrix(healthy: bool) -> CSC:
+    """A tiny fixed-pattern matrix, singular or healthy by values.
+
+    The pattern (a full 4x4) never changes, so every poison request maps
+    to one cache entry and one circuit breaker.  The singular phase has
+    rank 1 — every recovery rung fails its backward-error check and the
+    ladder exhausts, which is exactly the repeated-escalation signal the
+    breaker trips on.
+    """
+    n = 4
+    if healthy:
+        dense = np.eye(n) * 4.0 + np.ones((n, n))
+    else:
+        dense = np.ones((n, n))           # rank 1: unsolvable for general b
+    rr, cc = np.indices((n, n))
+    return CSC.from_coo(rr.ravel(), cc.ravel(), dense.ravel(), shape=(n, n))
+
+
+def _n1_variants(base: CSC, n: int, rng: np.random.Generator) -> List[CSC]:
+    """Same-pattern outage sweep: zero one off-diagonal entry per variant."""
+    col_of = np.repeat(np.arange(base.n_cols), np.diff(base.indptr))
+    offdiag = np.flatnonzero(base.indices != col_of)
+    out = []
+    for k in range(n):
+        A = base.copy()
+        if offdiag.size:
+            slot = offdiag[int(rng.integers(offdiag.size))]
+            A.data[slot] = 0.0            # outage: pattern kept, value zeroed
+        out.append(A)
+    return out
+
+
+def _tenant_matrices(spec: TenantSpec, rng: np.random.Generator) -> List[CSC]:
+    if spec.workload == "xyce":
+        circuit = rc_ladder(12)
+        mats = matrix_sequence(circuit, min(spec.n_requests, 24))
+        return [mats[k % len(mats)] for k in range(spec.n_requests)]
+    if spec.workload == "n1":
+        base = meshed_area_grid(3, 10, rng=np.random.default_rng(
+            int(rng.integers(2 ** 31))))
+        return _n1_variants(base, spec.n_requests, rng)
+    # poison: singular values first, healthy values after poison_until
+    return [_poison_matrix(healthy=(k >= spec.poison_until))
+            for k in range(spec.n_requests)]
+
+
+def build_traffic(
+    specs: List[TenantSpec],
+    seed: int = 0,
+) -> List[Tuple[TenantSpec, SolveRequest]]:
+    """Seeded request stream, merged across tenants by arrival time.
+
+    Ties break on (arrival, tenant name, per-tenant sequence) so the
+    merge order is total and deterministic.
+    """
+    stream: List[Tuple[float, str, int, TenantSpec, SolveRequest]] = []
+    for t_idx, spec in enumerate(sorted(specs, key=lambda s: s.name)):
+        spec.validate()
+        rng = np.random.default_rng([seed, t_idx])
+        mats = _tenant_matrices(spec, rng)
+        now = 0.0
+        burst_left = 0
+        for k in range(spec.n_requests):
+            if spec.burst_every and k and k % spec.burst_every == 0:
+                burst_left = spec.burst_len
+            gap_mean = (spec.mean_interarrival_s * 0.02 if burst_left > 0
+                        else spec.mean_interarrival_s)
+            if burst_left > 0:
+                burst_left -= 1
+            now += float(rng.exponential(gap_mean))
+            A = mats[k]
+            b = rng.standard_normal(A.n_rows)
+            stream.append((now, spec.name, k, spec, SolveRequest(
+                tenant=spec.name, A=A, b=b, arrival_s=now,
+                deadline_s=spec.deadline_s,
+                label=f"{spec.name}/{k}")))
+    stream.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [(spec, req) for (_, _, _, spec, req) in stream]
+
+
+def default_tenants(n_requests: int = 200) -> List[TenantSpec]:
+    """The reference ≥3-tenant mixed profile used by CI's soak.
+
+    Shapes: a steady transient tenant (Xyce sequence), a bursty N-1
+    sweep tenant with a modest rate limit (drives queue growth through
+    replay_only into shed, plus tenant_rate rejections), a poison
+    tenant whose singular phase trips its pattern's breaker, and a
+    latency tenant with a deadline tight enough that admission-time
+    estimates reject part of its traffic.
+    """
+    per = max(1, n_requests // 5)
+    return [
+        TenantSpec(name="transient", workload="xyce", n_requests=per * 2,
+                   mean_interarrival_s=2e-3),
+        TenantSpec(name="sweep", workload="n1", n_requests=per,
+                   mean_interarrival_s=1.2e-3, deadline_s=0.5,
+                   burst_every=6, burst_len=12,
+                   bucket_capacity=24.0, bucket_refill_per_s=2500.0),
+        TenantSpec(name="chaos", workload="poison", n_requests=per,
+                   mean_interarrival_s=4e-3, poison_until=per // 2),
+        TenantSpec(name="latency", workload="xyce", n_requests=per,
+                   mean_interarrival_s=2.5e-3, deadline_s=2.5e-4),
+    ]
+
+
+def run_soak(
+    specs: Optional[List[TenantSpec]] = None,
+    config: Optional[ServeConfig] = None,
+    seed: int = 0,
+    n_requests: int = 200,
+    n_faults: int = 4,
+) -> dict:
+    """Drive a seeded multi-tenant soak through one service instance.
+
+    Returns the JSON-ready ``SERVE_report`` dict: per-tenant accounting,
+    rejection/latency/breaker/cache summaries, and an ``invariants``
+    block the CI job gates on — zero untyped escapes, zero unverified
+    answers, the queue bound never exceeded.
+    """
+    if specs is None:
+        specs = default_tenants(n_requests)
+    if config is None:
+        config = ServeConfig(seed=seed, chaos_invalidate_every=17,
+                             queue_depth=12, replay_only_depth=6,
+                             shed_depth=10)
+    service = SolverService(config)
+    for spec in sorted(specs, key=lambda s: s.name):
+        service.register_tenant(spec.name,
+                                bucket_capacity=spec.bucket_capacity,
+                                bucket_refill_per_s=spec.bucket_refill_per_s)
+    traffic = build_traffic(specs, seed=seed)
+
+    plan = None
+    if n_faults > 0:
+        plan = FaultPlan.random(
+            seed=seed, n_faults=n_faults,
+            sites=("klu.refactor.values", "gp.factor.values"),
+            kinds=("perturb", "nan"), max_occurrence=40)
+
+    outcomes: List[dict] = []
+    untyped: List[str] = []
+    wrong: List[dict] = []
+    errors: Dict[str, int] = {}
+    rejects: Dict[str, int] = {}
+
+    def one(spec: TenantSpec, req: SolveRequest) -> None:
+        try:
+            resp = service.submit(req)
+        except ReproError as exc:
+            name = type(exc).__name__
+            errors[name] = errors.get(name, 0) + 1
+            reason = getattr(exc, "reason", "") or name
+            rejects[reason] = rejects.get(reason, 0) + 1
+            outcomes.append({"label": req.label, "ok": False,
+                             "error": name, "reason": reason})
+            return
+        except Exception as exc:  # untyped escape: an invariant violation
+            untyped.append(f"{req.label}: {type(exc).__name__}: {exc}")
+            outcomes.append({"label": req.label, "ok": False,
+                             "error": "UNTYPED"})
+            return
+        # independent residual verification — never trust the report
+        berr = componentwise_backward_error(req.A, resp.x, req.b)
+        if not (np.isfinite(berr) and berr <= config.tol):
+            wrong.append({"label": req.label, "backward_error": float(berr)})
+        outcomes.append(resp.to_dict() | {"label": req.label})
+
+    if plan is not None:
+        with plan:
+            for spec, req in traffic:
+                one(spec, req)
+    else:
+        for spec, req in traffic:
+            one(spec, req)
+
+    snap = service.snapshot()
+    accepted = sum(1 for o in outcomes if o["ok"])
+    breaker_totals = {
+        "trips": sum(b["trips"] for b in snap["breakers"].values()),
+        "resets": sum(b["resets"] for b in snap["breakers"].values()),
+        "reopens": sum(b["reopens"] for b in snap["breakers"].values()),
+    }
+    report = {
+        "seed": seed,
+        "n_requests": len(traffic),
+        "tenants": [s.name for s in sorted(specs, key=lambda t: t.name)],
+        "accepted": accepted,
+        "rejected": len(traffic) - accepted,
+        "reject_reasons": {k: rejects[k] for k in sorted(rejects)},
+        "error_types": {k: errors[k] for k in sorted(errors)},
+        "retries": snap["metrics"]["counters"].get("serve.retries", 0),
+        "shed_total": snap["metrics"]["counters"].get("serve.shed_total", 0),
+        "latency": snap["latency"],
+        "wait": snap["wait"],
+        "per_tenant": snap["tenants"],
+        "queue": snap["queue"],
+        "cache": snap["cache"],
+        "breakers": snap["breakers"],
+        "breaker_totals": breaker_totals,
+        "faults_fired": ([{
+            "site": e.site, "kind": e.kind,
+            "occurrence": e.occurrence, "index": e.index,
+        } for e in plan.events] if plan is not None else []),
+        "invariants": {
+            "untyped_escapes": untyped,
+            "unverified_answers": wrong,
+            "queue_bound_respected": bool(
+                snap["queue"]["peak_depth"] <= config.queue_depth),
+        },
+        "ok": (not untyped and not wrong
+               and snap["queue"]["peak_depth"] <= config.queue_depth),
+    }
+    return report
+
+
+@effects(pure=True)
+def report_to_json(report: dict) -> str:
+    """Canonical byte-stable serialization of a soak report."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

@@ -37,6 +37,7 @@ from ..sparse.schedule import (
     ScheduleCompileError,
     adopt_solve_schedules,
     diagonal_block_gathers,
+    drop_solve_schedules,
     permutation_gather,
 )
 from .gp import GP_DEFAULT_PIVOT_TOL, GPResult, gp_factor, gp_refactor
@@ -100,7 +101,15 @@ class _KLURefactorCache:
 
 @dataclass
 class KLUSymbolic:
-    """Pattern-only analysis: BTF structure + per-block AMD orderings."""
+    """Pattern-only analysis: BTF structure + per-block AMD orderings.
+
+    ``generation`` supports shared-cache eviction protocols: a borrower
+    records the generation at borrow time and any later
+    :meth:`invalidate` (cache eviction, explicit flush) bumps it, so a
+    stale lease is *detected* (typed
+    :class:`~repro.errors.CacheInvalidatedError` in the serving layer)
+    instead of silently recomputing against dropped plans.
+    """
 
     n: int
     btf_result: BTFResult
@@ -111,6 +120,7 @@ class KLUSymbolic:
     # cached on first factorization (pattern-only, so they survive any
     # number of refactor / pivot-fallback cycles on the fixed pattern).
     dense_plans: Optional[List[Optional[DensePlan]]] = None
+    generation: int = 0
 
     @property
     def n_blocks(self) -> int:
@@ -119,6 +129,18 @@ class KLUSymbolic:
     @property
     def block_splits(self) -> np.ndarray:
         return self.btf_result.block_splits
+
+    def invalidate(self) -> int:
+        """Drop derived pattern caches and bump the generation counter.
+
+        Returns the new generation.  Called by cache-eviction hooks; any
+        lease taken at an older generation must fail typed rather than
+        recompute under the borrower.
+        """
+        self.dense_plans = None
+        self.generation += 1
+        get_tracer().metrics.incr("klu.symbolic.evictions")
+        return self.generation
 
 
 @dataclass
@@ -164,6 +186,24 @@ class KLUNumeric:
         for led, ws in zip(self.block_ledgers, self.block_working_sets):
             t += machine.seconds(led, ws)
         return t
+
+    def invalidate_caches(self) -> int:
+        """Eviction hook: drop every derived cache hanging off this
+        numeric object — the refactor value-gather/replay cache and the
+        compiled triangular solve schedules on the factor matrices.
+
+        Returns the number of compiled solve schedules released.  Does
+        *not* touch the factors themselves (the object stays usable; it
+        just recompiles on next use) and does not bump the symbolic
+        generation — callers evicting a shared-cache entry combine this
+        with :meth:`KLUSymbolic.invalidate`.
+        """
+        self.refactor_cache = None
+        dropped = drop_solve_schedules(self.M)
+        for lu in self.block_lu:
+            dropped += drop_solve_schedules(lu.L)
+            dropped += drop_solve_schedules(lu.U)
+        return dropped
 
 
 class KLU:

@@ -59,6 +59,7 @@ __all__ = [
     "compile_triangular_schedule",
     "triangular_schedule",
     "adopt_solve_schedules",
+    "drop_solve_schedules",
     "RefactorSchedule",
     "compile_refactor_schedule",
     "permutation_gather",
@@ -311,6 +312,25 @@ def adopt_solve_schedules(src: CSC, dst: CSC) -> None:
     cache = getattr(src, "_solve_schedules", None)
     if cache:
         dst._solve_schedules = dict(cache)
+
+
+def drop_solve_schedules(M: CSC) -> int:
+    """Eviction hook: discard every compiled solve schedule cached on
+    ``M`` and return how many were dropped.
+
+    Used by shared-cache eviction (the serving layer's pattern cache)
+    so evicted factors release their compiled gather/scatter plans
+    instead of pinning them alive.  Each dropped schedule counts as a
+    ``schedule.tri.evictions`` event — the same counter family the
+    flight recorder's ``cache_hit_drop`` drift detector scans.
+    """
+    cache = getattr(M, "_solve_schedules", None)
+    if not cache:
+        return 0
+    n = len(cache)
+    M._solve_schedules = {}
+    get_tracer().metrics.incr("schedule.tri.evictions", n)
+    return n
 
 
 # ======================================================================
